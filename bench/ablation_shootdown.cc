@@ -1,0 +1,75 @@
+// Ablation: the TLB shootdown strategies of §4.5 — synchronous IPI-style,
+// early-acknowledgement [Amit et al.], and LATR-style lazy — on the workload
+// that exercises them hardest (multithreaded munmap of mapped pages, plus the
+// mixed map/unmap churn where lazy reclamation pays off).
+//
+// Expected shape: sync <= early-ack <= latr on unmap throughput once more
+// than one CPU is active, because sync serializes a round trip per target
+// CPU, early-ack overlaps the flushes, and latr defers them to the targets'
+// ticks entirely.
+#include <cstdio>
+
+#include "src/sim/mmu.h"
+#include "src/sim/workloads.h"
+
+namespace cortenmm {
+namespace {
+
+double RunUnmapChurn(TlbPolicy policy, int threads) {
+  AddrSpace::Options options;
+  options.protocol = Protocol::kAdv;
+  options.tlb_policy = policy;
+  CortenVm mm(options);
+
+  constexpr int kRegions = 256;
+  constexpr uint64_t kRegionBytes = 16 * 1024;
+  std::vector<std::vector<Vaddr>> regions(threads);
+
+  PhasedSpec spec;
+  spec.threads = threads;
+  spec.rounds = 3;
+  spec.ops_per_round = kRegions;
+  spec.setup = [&](int t, int) {
+    for (int i = 0; i < kRegions; ++i) {
+      Result<Vaddr> va = mm.MmapAnon(kRegionBytes, Perm::RW());
+      assert(va.ok());
+      MmuSim::TouchRange(mm, *va, kRegionBytes, /*write=*/true);
+      regions[t].push_back(*va);
+    }
+  };
+  spec.timed_op = [&](int t, int, int op) {
+    // Unmap + immediately touch a neighbour: keeps every CPU active so the
+    // shootdown strategies actually differ (idle CPUs never tick).
+    mm.Munmap(regions[t][op], kRegionBytes);
+    if (op + 1 < kRegions) {
+      uint64_t value = 0;
+      MmuSim::Read(mm, regions[t][op + 1], &value);
+    }
+  };
+  spec.teardown = [&](int t, int) { regions[t].clear(); };
+  return RunPhased(spec);
+}
+
+}  // namespace
+}  // namespace cortenmm
+
+int main() {
+  using namespace cortenmm;
+  PrintHeader("Ablation — TLB shootdown strategies (paper §4.5)",
+              "design-choice ablation (DESIGN.md §4); feeds the Fig. 16 adv_base rows",
+              "latr >= early-ack >= sync once multiple CPUs are active.");
+  std::vector<int> sweep = SweepThreads();
+  std::printf("%-16s", "threads:");
+  for (int t : sweep) {
+    std::printf(" %9d", t);
+  }
+  std::printf("   [unmap+touch ops/s]\n");
+  for (TlbPolicy policy : {TlbPolicy::kSync, TlbPolicy::kEarlyAck, TlbPolicy::kLatr}) {
+    std::vector<double> row;
+    for (int threads : sweep) {
+      row.push_back(RunUnmapChurn(policy, threads));
+    }
+    PrintRow(TlbPolicyName(policy), row);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 13: single-threaded throughput of the five Table 3 microbenchmarks
+// across all systems, with CortenMM's improvement over Linux printed below,
+// exactly like the figure's annotation row.
+//
+// Paper shape: CortenMM_adv beats Linux on mmap-PF / PF / unmap-virt / unmap
+// (+7.8%..+46.8%) and loses slightly on plain mmap (-3.1%, PT pages are
+// allocated eagerly where Linux only creates a VMA). CortenMM_rw is between
+// Linux and CortenMM_adv.
+#include <cstdio>
+
+#include "src/sim/workloads.h"
+
+int main() {
+  using namespace cortenmm;
+  PrintHeader("Figure 13 — single-threaded microbenchmarks",
+              "Fig. 13 / Table 3",
+              "adv > Linux on mmap-PF/PF/unmap-virt/unmap; adv slightly < Linux "
+              "on mmap; rw between Linux and adv.");
+
+  const Micro micros[] = {Micro::kMmap, Micro::kMmapPf, Micro::kUnmapVirt, Micro::kUnmap,
+                          Micro::kPf};
+  std::printf("%-16s", "system");
+  for (Micro micro : micros) {
+    std::printf(" %10s", MicroName(micro));
+  }
+  std::printf("   [ops/s]\n");
+
+  double linux_row[5] = {};
+  double adv_row[5] = {};
+  for (MmKind kind : ComparisonSet()) {
+    std::vector<double> row;
+    int i = 0;
+    for (Micro micro : micros) {
+      double value = MicroSupported(micro, kind)
+                         ? RunMicro(micro, kind, /*threads=*/1, Contention::kLow)
+                         : 0;
+      row.push_back(value);
+      if (kind == MmKind::kLinux) {
+        linux_row[i] = value;
+      }
+      if (kind == MmKind::kCortenAdv) {
+        adv_row[i] = value;
+      }
+      ++i;
+    }
+    PrintRow(MmKindName(kind), row);
+  }
+
+  std::printf("\nCortenMM-adv improvement over Linux (paper: -3.1%%, +46.8%%, "
+              "+37%%-ish, +7.8%%-ish, +20%%-ish):\n%-16s", "");
+  for (int i = 0; i < 5; ++i) {
+    if (linux_row[i] > 0) {
+      std::printf(" %+9.1f%%", (adv_row[i] / linux_row[i] - 1) * 100);
+    } else {
+      std::printf(" %10s", "n/a");
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

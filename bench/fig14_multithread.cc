@@ -1,0 +1,54 @@
+// Figure 14: multithreaded throughput of the five microbenchmarks, each in a
+// low-contention (private regions) and a high-contention (shared region)
+// variant, across all systems.
+//
+// Paper shape: low contention — CortenMM_adv scales almost linearly; Linux
+// flat on mmap/unmap (writer side of mmap_lock) and sub-linear on PF (VMA
+// locks); CortenMM_rw below adv (reader-lock traffic vs RCU). High contention
+// — adv stops scaling past the shared covering PT page but stays far above
+// Linux on unmap; RadixVM competitive on PF (per-core page tables).
+#include <cstdio>
+
+#include "src/sim/workloads.h"
+
+namespace cortenmm {
+namespace {
+
+void RunPanel(Micro micro, Contention contention) {
+  std::vector<int> sweep = SweepThreads();
+  std::printf("\n--- %s (%s contention) --- threads:", MicroName(micro),
+              contention == Contention::kLow ? "low" : "high");
+  for (int t : sweep) {
+    std::printf(" %8d", t);
+  }
+  std::printf("  [ops/s]\n");
+  for (MmKind kind : ComparisonSet()) {
+    if (!MicroSupported(micro, kind)) {
+      std::printf("%-16s    (no demand paging: skipped)\n", MmKindName(kind));
+      continue;
+    }
+    std::vector<double> row;
+    for (int threads : sweep) {
+      row.push_back(RunMicro(micro, kind, threads, contention));
+    }
+    PrintRow(MmKindName(kind), row);
+  }
+}
+
+}  // namespace
+}  // namespace cortenmm
+
+int main() {
+  using namespace cortenmm;
+  PrintHeader("Figure 14 — multithreaded microbenchmarks",
+              "Fig. 14, all five Table 3 workloads x {low, high} contention",
+              "Low: adv scales, Linux mmap/unmap flat (mmap_lock), rw below adv. "
+              "High: adv saturates at the shared covering PT page but beats "
+              "Linux; RadixVM strong on PF.");
+  for (Micro micro : {Micro::kMmap, Micro::kMmapPf, Micro::kUnmapVirt, Micro::kUnmap,
+                      Micro::kPf}) {
+    RunPanel(micro, Contention::kLow);
+    RunPanel(micro, Contention::kHigh);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 15: single-threaded real-world application performance normalized to
+// Linux. Paper shape: CortenMM neither helps much nor hurts at one thread —
+// all bars hover around 1.0x (the wins come from scalability, Figure 16/17).
+#include <cstdio>
+
+#include "src/sim/workloads.h"
+
+int main() {
+  using namespace cortenmm;
+  PrintHeader("Figure 15 — single-threaded real-world applications",
+              "Fig. 15 (normalized to Linux; higher is better)",
+              "All systems ~1.0x at one thread: CortenMM does not penalize "
+              "single-threaded applications.");
+
+  struct App {
+    const char* name;
+    double (*run)(MmKind);
+  };
+  auto run_metis = [](MmKind kind) { return RunMetis(kind, 1, 4).throughput(); };
+  auto run_dedup = [](MmKind kind) {
+    return RunDedup(kind, AllocModel::kPtmalloc, 1).throughput();
+  };
+  auto run_psearchy = [](MmKind kind) {
+    return RunPsearchy(kind, AllocModel::kPtmalloc, 1).throughput();
+  };
+  auto run_blackscholes = [](MmKind kind) {
+    return RunParsecLike(kind, "blackscholes", 1).throughput();
+  };
+  auto run_canneal = [](MmKind kind) {
+    return RunParsecLike(kind, "canneal", 1).throughput();
+  };
+  const App apps[] = {
+      {"metis", +run_metis},         {"dedup", +run_dedup},
+      {"psearchy", +run_psearchy},   {"blackscholes", +run_blackscholes},
+      {"canneal", +run_canneal},
+  };
+
+  std::printf("%-16s %12s %12s %12s\n", "app", "adv/Linux", "rw/Linux", "Linux");
+  for (const App& app : apps) {
+    double linux_score = app.run(MmKind::kLinux);
+    double adv_score = app.run(MmKind::kCortenAdv);
+    double rw_score = app.run(MmKind::kCortenRw);
+    std::printf("%-16s %11.2fx %11.2fx %12.3g\n", app.name,
+                linux_score > 0 ? adv_score / linux_score : 0,
+                linux_score > 0 ? rw_score / linux_score : 0, linux_score);
+  }
+  return 0;
+}

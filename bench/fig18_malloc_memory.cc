@@ -1,0 +1,35 @@
+// Figure 18: memory usage of tcmalloc vs the default allocator (ptmalloc) on
+// dedup and psearchy. Paper shape: tcmalloc's throughput win (Figure 17)
+// costs ~2x the OS memory footprint because freed spans are retained.
+#include <cstdio>
+
+#include "src/sim/workloads.h"
+
+int main() {
+  using namespace cortenmm;
+  PrintHeader("Figure 18 — allocator memory usage (tcmalloc vs ptmalloc)",
+              "Fig. 18",
+              "tcmalloc retains freed spans: ~2x (or more) the peak OS memory "
+              "of ptmalloc on the same trace.");
+  int threads = SweepThreads().back() / 2 > 0 ? SweepThreads().back() / 2 : 1;
+  std::printf("workload          allocator   peak OS memory (MiB)\n");
+  for (auto [name, fn] :
+       {std::pair<const char*, TraceResult (*)(MmKind, AllocModel, int, int)>{
+            "dedup", &RunDedup},
+        {"psearchy", &RunPsearchy}}) {
+    double ptmalloc_peak = 0;
+    for (AllocModel model : {AllocModel::kPtmalloc, AllocModel::kTcmalloc}) {
+      TraceResult r = fn(MmKind::kCortenAdv, model, threads, 100);
+      double mib = static_cast<double>(r.peak_os_bytes) / (1 << 20);
+      if (model == AllocModel::kPtmalloc) {
+        ptmalloc_peak = mib;
+        std::printf("%-16s %-10s %10.1f\n", name, AllocModelName(model), mib);
+      } else {
+        std::printf("%-16s %-10s %10.1f   (%.1fx ptmalloc)\n", name,
+                    AllocModelName(model), mib,
+                    ptmalloc_peak > 0 ? mib / ptmalloc_peak : 0);
+      }
+    }
+  }
+  return 0;
+}

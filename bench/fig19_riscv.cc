@@ -1,0 +1,42 @@
+// Figure 19: the portability check — the five microbenchmarks under the
+// RISC-V Sv48 PTE codec, single-threaded and multithreaded, CortenMM vs the
+// Linux-style baseline. Paper shape: the performance relationships observed
+// on x86-64 (Figure 13) carry over unchanged, because only the PTE codec
+// differs (Table 5's ~250 LoC).
+#include <cstdio>
+
+#include "src/sim/workloads.h"
+
+namespace cortenmm {
+namespace {
+
+void Panel(int threads) {
+  const Micro micros[] = {Micro::kMmap, Micro::kMmapPf, Micro::kUnmapVirt, Micro::kUnmap,
+                          Micro::kPf};
+  std::printf("\n--- %d thread(s), RISC-V Sv48 ---\n%-16s", threads, "system");
+  for (Micro micro : micros) {
+    std::printf(" %10s", MicroName(micro));
+  }
+  std::printf("   [ops/s]\n");
+  for (MmKind kind : {MmKind::kCortenAdv, MmKind::kCortenRw, MmKind::kLinux}) {
+    std::vector<double> row;
+    for (Micro micro : micros) {
+      row.push_back(RunMicro(micro, kind, threads, Contention::kLow, Arch::kRiscvSv48));
+    }
+    PrintRow(MmKindName(kind), row);
+  }
+}
+
+}  // namespace
+}  // namespace cortenmm
+
+int main() {
+  using namespace cortenmm;
+  PrintHeader("Figure 19 — microbenchmarks in a RISC-V (Sv48) configuration",
+              "Fig. 19",
+              "Same ordering as the x86-64 results of Fig. 13: the port only "
+              "swaps the PTE codec.");
+  Panel(1);
+  Panel(SweepThreads().back());
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 21: 8-threaded performance of the PARSEC workloads that do *not*
+// stress memory management, normalized to Linux. Paper shape: all bars ~1.0x —
+// eliminating the software-level abstraction costs nothing on MM-light apps.
+#include <cstdio>
+
+#include "src/sim/workloads.h"
+
+int main() {
+  using namespace cortenmm;
+  PrintHeader("Figure 21 — PARSEC-like workloads (8 threads, normalized to Linux)",
+              "Fig. 21 (higher is better)",
+              "All apps ~1.0x: CortenMM adds no overhead to MM-light workloads.");
+  int threads = 8;
+  std::printf("%-16s %12s %12s %14s\n", "app", "adv/Linux", "rw/Linux",
+              "Linux [acc/s]");
+  for (const std::string& app : ParsecApps()) {
+    double linux_score = RunParsecLike(MmKind::kLinux, app, threads).throughput();
+    double adv_score = RunParsecLike(MmKind::kCortenAdv, app, threads).throughput();
+    double rw_score = RunParsecLike(MmKind::kCortenRw, app, threads).throughput();
+    std::printf("%-16s %11.2fx %11.2fx %14.3g\n", app.c_str(),
+                linux_score > 0 ? adv_score / linux_score : 0,
+                linux_score > 0 ? rw_score / linux_score : 0, linux_score);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks of the raw transactional interface: the
+// cost of AddrSpace::Lock under both protocols at several covering depths,
+// and of the individual RCursor basic operations. These are the
+// lowest-level numbers behind Figures 13/14 and useful for regression
+// tracking of the locking protocols themselves.
+#include <benchmark/benchmark.h>
+
+#include "src/core/addr_space.h"
+#include "src/pmm/buddy.h"
+#include "src/pmm/phys_mem.h"
+
+namespace cortenmm {
+namespace {
+
+AddrSpace::Options OptionsFor(Protocol protocol) {
+  AddrSpace::Options options;
+  options.protocol = protocol;
+  return options;
+}
+
+// Lock+unlock of a 4 KiB range (covering page = a leaf PT page).
+void BM_LockSmallRange(benchmark::State& state) {
+  Protocol protocol = state.range(0) == 0 ? Protocol::kRw : Protocol::kAdv;
+  AddrSpace space(OptionsFor(protocol));
+  VaRange range(1ull << 30, (1ull << 30) + kPageSize);
+  {
+    // Materialize the path once so the steady state is measured.
+    RCursor cursor = space.Lock(range);
+    cursor.Mark(range, Status::PrivateAnon(Perm::RW()));
+  }
+  for (auto _ : state) {
+    RCursor cursor = space.Lock(range);
+    benchmark::DoNotOptimize(&cursor);
+  }
+  state.SetLabel(protocol == Protocol::kRw ? "rw" : "adv");
+}
+BENCHMARK(BM_LockSmallRange)->Arg(0)->Arg(1);
+
+// Lock+unlock of a 1 GiB range (covering page near the root).
+void BM_LockWideRange(benchmark::State& state) {
+  Protocol protocol = state.range(0) == 0 ? Protocol::kRw : Protocol::kAdv;
+  AddrSpace space(OptionsFor(protocol));
+  VaRange range(1ull << 31, (1ull << 31) + (1ull << 30));
+  for (auto _ : state) {
+    RCursor cursor = space.Lock(range);
+    benchmark::DoNotOptimize(&cursor);
+  }
+  state.SetLabel(protocol == Protocol::kRw ? "rw" : "adv");
+}
+BENCHMARK(BM_LockWideRange)->Arg(0)->Arg(1);
+
+// Query of a mapped page through the covering page.
+void BM_Query(benchmark::State& state) {
+  Protocol protocol = state.range(0) == 0 ? Protocol::kRw : Protocol::kAdv;
+  AddrSpace space(OptionsFor(protocol));
+  Vaddr va = 1ull << 30;
+  Result<Pfn> frame = BuddyAllocator::Instance().AllocZeroedFrame();
+  {
+    RCursor cursor = space.Lock(VaRange(va, va + kPageSize));
+    cursor.Map(va, *frame, Perm::RW());
+  }
+  RCursor cursor = space.Lock(VaRange(va, va + kPageSize));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cursor.Query(va));
+  }
+  state.SetLabel(protocol == Protocol::kRw ? "rw" : "adv");
+}
+BENCHMARK(BM_Query)->Arg(0)->Arg(1);
+
+// Map+Unmap of one page inside a held transaction (pure op cost, no locking).
+void BM_MapUnmapOp(benchmark::State& state) {
+  Protocol protocol = state.range(0) == 0 ? Protocol::kRw : Protocol::kAdv;
+  AddrSpace space(OptionsFor(protocol));
+  Vaddr va = 2ull << 30;
+  Result<Pfn> frame = BuddyAllocator::Instance().AllocZeroedFrame();
+  PhysMem::Instance().Descriptor(*frame).ResetForAlloc(FrameType::kAnon);
+  RCursor cursor = space.Lock(VaRange(va, va + kPageSize));
+  for (auto _ : state) {
+    cursor.Map(va, *frame, Perm::RW());
+    AddFrameRef(*frame);  // Keep the frame alive across the unmap's deref.
+    cursor.Unmap(VaRange(va, va + kPageSize));
+  }
+  state.SetLabel(protocol == Protocol::kRw ? "rw" : "adv");
+}
+BENCHMARK(BM_MapUnmapOp)->Arg(0)->Arg(1);
+
+// Mark of a 2 MiB aligned range: one upper-level metadata write.
+void BM_MarkLargeRange(benchmark::State& state) {
+  Protocol protocol = state.range(0) == 0 ? Protocol::kRw : Protocol::kAdv;
+  AddrSpace space(OptionsFor(protocol));
+  Vaddr va = 4ull << 30;
+  VaRange range(va, va + (2ull << 20));
+  RCursor cursor = space.Lock(range);
+  for (auto _ : state) {
+    cursor.Mark(range, Status::PrivateAnon(Perm::RW()));
+  }
+  state.SetLabel(protocol == Protocol::kRw ? "rw" : "adv");
+}
+BENCHMARK(BM_MarkLargeRange)->Arg(0)->Arg(1);
+
+// Contended lock acquisition: threads hammer the same leaf-covering range.
+void BM_ContendedLock(benchmark::State& state) {
+  static AddrSpace* space = nullptr;
+  if (state.thread_index() == 0) {
+    space = new AddrSpace(OptionsFor(state.range(0) == 0 ? Protocol::kRw : Protocol::kAdv));
+  }
+  VaRange range(8ull << 30, (8ull << 30) + kPageSize);
+  for (auto _ : state) {
+    RCursor cursor = space->Lock(range);
+    benchmark::DoNotOptimize(&cursor);
+  }
+  if (state.thread_index() == 0) {
+    delete space;
+    space = nullptr;
+  }
+}
+BENCHMARK(BM_ContendedLock)->Arg(0)->Arg(1)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+}  // namespace cortenmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 4 analog: the cost and coverage of this repository's correctness
+// machinery. The paper reports Verus spec/proof/impl line counts and a <20 s
+// verification time; our substitute is exhaustive model checking of the same
+// specifications (DESIGN.md), so we report the state spaces explored, the
+// invariants checked, and the wall time for the full portfolio.
+#include <cstdio>
+
+#include "src/verif/model.h"
+#include "src/verif/tree_model.h"
+
+namespace cortenmm {
+namespace {
+
+void Check(const char* scenario, const Model& model) {
+  ModelCheckResult result = ModelChecker::Run(model, 200'000'000);
+  std::string verdict = result.ok ? "PASS" : "FAIL: " + result.violation;
+  std::printf("%-44s %10llu %11llu %6.2fs  %s\n", scenario,
+              static_cast<unsigned long long>(result.states_explored),
+              static_cast<unsigned long long>(result.transitions), result.seconds,
+              verdict.c_str());
+}
+
+}  // namespace
+}  // namespace cortenmm
+
+int main() {
+  using namespace cortenmm;
+  std::printf(
+      "\n================================================================\n"
+      "Table 4 analog — correctness-checking effort and cost\n"
+      "================================================================\n"
+      "Paper: Verus proofs, 4868 spec / 4279 proof / 1769 impl LoC,\n"
+      "       ~8 person-months, <20 s to verify.\n"
+      "Here:  exhaustive model checking of the same Atomic-Tree-Spec-level\n"
+      "       properties (P1 mutual exclusion, non-overlap, stale safety,\n"
+      "       deadlock freedom) on bounded instances, plus the runtime\n"
+      "       well-formedness checker (P2, Fig. 12) wired into the tests.\n\n"
+      "%-44s %10s %11s %8s\n",
+      "scenario", "states", "transitions", "time");
+
+  Check("rw: 2 threads, sibling leaves", RwProtocolModel(3, {{3}, {4}}));
+  Check("rw: 2 threads, same leaf", RwProtocolModel(3, {{3}, {3}}));
+  Check("rw: ancestor vs descendant", RwProtocolModel(3, {{1}, {3}}));
+  Check("rw: 3 threads incl. root", RwProtocolModel(3, {{0}, {3}, {6}}));
+  Check("rw: 3 threads, depth-4 tree", RwProtocolModel(4, {{1}, {4}, {10}}));
+  Check("adv: 2 threads, sibling leaves", AdvProtocolModel(3, {{3, -1}, {4, -1}}));
+  Check("adv: ancestor vs descendant", AdvProtocolModel(3, {{1, -1}, {3, -1}}));
+  Check("adv: unmap race (Fig. 7)", AdvProtocolModel(3, {{1, 3}, {3, -1}}));
+  Check("adv: unmap race, 3 threads", AdvProtocolModel(3, {{1, 4}, {4, -1}, {3, -1}}));
+  Check("adv: root txn vs unmapper", AdvProtocolModel(3, {{0, -1}, {2, 6}}));
+  return 0;
+}

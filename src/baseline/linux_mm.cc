@@ -1,0 +1,448 @@
+#include "src/baseline/linux_mm.h"
+
+#include <cassert>
+
+#include "src/common/stats.h"
+#include "src/core/addr_space.h"  // DropFrameRef / AddFrameRef
+#include "src/pmm/buddy.h"
+#include "src/pmm/phys_mem.h"
+
+namespace cortenmm {
+namespace {
+
+std::atomic<uint16_t> g_next_linux_asid{0x4000};  // Disjoint from CortenMM ASIDs.
+
+bool PermAllowsAccess(Perm perm, Access access) {
+  switch (access) {
+    case Access::kRead:
+      return perm.read();
+    case Access::kWrite:
+      return perm.write();
+    case Access::kExec:
+      return perm.exec();
+  }
+  return false;
+}
+
+}  // namespace
+
+LinuxVmaMm::LinuxVmaMm(const Options& options)
+    : options_(options),
+      asid_(g_next_linux_asid.fetch_add(1, std::memory_order_relaxed)),
+      pt_(options.arch),
+      va_alloc_(/*per_core=*/false) {}  // Linux: one VA arena per mm.
+
+LinuxVmaMm::~LinuxVmaMm() {
+  mmap_lock_.WriteLock();
+  DoMunmapLocked(VaRange(0, kVaLimit));
+  mmap_lock_.WriteUnlock();
+  TlbSystem::Instance().DrainAll();
+  for (CpuId cpu : active_cpus_.ToVector()) {
+    TlbSystem::Instance().CpuTlb(cpu).InvalidateAsid(asid_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Page-table plumbing (locking per Table 1: coarse lock above level 2,
+// per-PT-page locks at level 2 for installing level-1 tables and leaves).
+// ---------------------------------------------------------------------------
+
+Pfn LinuxVmaMm::EnsurePtPath(Vaddr va) {
+  Pfn page = pt_.root();
+  for (int level = kPtLevels; level > 1; --level) {
+    uint64_t index = PtIndex(va, level);
+    Pte pte = pt_.LoadEntry(page, index);
+    if (!PteIsPresent(pt_.arch(), pte)) {
+      // Rule 5: hold the lock of the target page table while inserting.
+      if (level > 2) {
+        SpinGuard guard(page_table_lock_);
+        pte = pt_.LoadEntry(page, index);
+        if (!PteIsPresent(pt_.arch(), pte)) {
+          Result<Pfn> child = pt_.AllocPtPage(level - 1);
+          assert(child.ok());
+          pt_.StoreEntry(page, index, MakeTablePte(pt_.arch(), *child));
+          pte = pt_.LoadEntry(page, index);
+        }
+      } else {
+        McsNode node;
+        PageDescriptor& desc = PhysMem::Instance().Descriptor(page);
+        desc.mcs.Lock(&node);
+        pte = pt_.LoadEntry(page, index);
+        if (!PteIsPresent(pt_.arch(), pte)) {
+          Result<Pfn> child = pt_.AllocPtPage(level - 1);
+          assert(child.ok());
+          pt_.StoreEntry(page, index, MakeTablePte(pt_.arch(), *child));
+          pte = pt_.LoadEntry(page, index);
+        }
+        desc.mcs.Unlock(&node);
+      }
+    }
+    page = PtePfn(pt_.arch(), pte);
+  }
+  return page;
+}
+
+void LinuxVmaMm::UnmapPtRange(VaRange range, std::vector<Pfn>* dead_frames) {
+  pt_.ForEachLeaf(range, [&](Vaddr va, Pte pte, int level) {
+    assert(level == 1);
+    PageTable::WalkResult walk = pt_.Walk(va);
+    if (!walk.present) {
+      return;
+    }
+    pt_.StoreEntry(walk.pt_page, walk.index, kNullPte);
+    Pfn pfn = PtePfn(pt_.arch(), pte);
+    PhysMem::Instance().Descriptor(pfn).mapcount.fetch_sub(1, std::memory_order_acq_rel);
+    dead_frames->push_back(pfn);
+  });
+}
+
+void LinuxVmaMm::FreeEmptyTables(VaRange range) {
+  // Rule 7: freeing a page table requires the mmap_lock writer side (held by
+  // callers) and the entry already cleared. Walk top-down and prune child
+  // tables that are fully covered by |range| and empty.
+  std::function<bool(Pfn, int, Vaddr)> prune = [&](Pfn page, int level,
+                                                   Vaddr base) -> bool {
+    bool empty = true;
+    uint64_t span = PtEntrySpan(level);
+    // Only slots intersecting |range| are candidates; slots outside it make
+    // the page non-empty without being visited (free_pgtables walks the
+    // unmapped range only, not the whole tree).
+    uint64_t first = range.start > base ? (range.start - base) / span : 0;
+    uint64_t last =
+        range.end < base + PtPageSpan(level) ? (range.end - 1 - base) / span
+                                             : kPtesPerPage - 1;
+    if (first > 0 || last < kPtesPerPage - 1) {
+      // Conservatively treat the unscanned remainder as occupied.
+      empty = false;
+    }
+    for (uint64_t i = first; i <= last; ++i) {
+      Pte pte = pt_.LoadEntry(page, i);
+      if (!PteIsPresent(pt_.arch(), pte)) {
+        continue;
+      }
+      Vaddr entry_va = base + i * span;
+      VaRange entry_range(entry_va, entry_va + span);
+      if (!PteIsLeaf(pt_.arch(), pte, level) && range.Contains(entry_range)) {
+        if (prune(PtePfn(pt_.arch(), pte), level - 1, entry_va)) {
+          pt_.StoreEntry(page, i, kNullPte);
+          PageTable::FreePtPage(PtePfn(pt_.arch(), pte));
+          continue;
+        }
+      } else if (!PteIsLeaf(pt_.arch(), pte, level) && entry_range.Overlaps(range)) {
+        // Partially-covered subtree: recurse to free fully-covered children.
+        prune(PtePfn(pt_.arch(), pte), level - 1, entry_va);
+      }
+      empty = false;
+    }
+    return empty;
+  };
+  prune(pt_.root(), kPtLevels, 0);
+}
+
+void LinuxVmaMm::ChargeAndLruAdd(Pfn pfn) {
+  // mem_cgroup_charge analog: hierarchical page counter.
+  memcg_charged_.fetch_add(1, std::memory_order_relaxed);
+  // lru_cache_add analog: per-CPU pagevec, drained under the global lru_lock
+  // every PAGEVEC_SIZE (15) pages.
+  Pagevec& vec = pagevecs_[CurrentCpu()].value;
+  SpinGuard guard(vec.lock);
+  vec.pages.push_back(pfn);
+  if (vec.pages.size() >= 15) {
+    SpinGuard lru_guard(lru_lock_);
+    lru_list_.insert(lru_list_.end(), vec.pages.begin(), vec.pages.end());
+    vec.pages.clear();
+  }
+}
+
+void LinuxVmaMm::UnchargeAndLruDel(uint64_t pages) {
+  if (pages == 0) {
+    return;
+  }
+  memcg_charged_.fetch_sub(pages, std::memory_order_relaxed);
+  // release_pages analog: batch-remove from the LRU under lru_lock.
+  SpinGuard guard(lru_lock_);
+  uint64_t keep = lru_list_.size() > pages ? lru_list_.size() - pages : 0;
+  lru_list_.resize(keep);
+}
+
+// ---------------------------------------------------------------------------
+// mmap / munmap / mprotect: writer side of mmap_lock (Figure 2).
+// ---------------------------------------------------------------------------
+
+Result<Vaddr> LinuxVmaMm::MmapAnon(uint64_t len, Perm perm) {
+  if (len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  Result<Vaddr> va = va_alloc_.Alloc(len);
+  if (!va.ok()) {
+    return va;
+  }
+  VoidResult r = MmapAnonAt(*va, len, perm);
+  if (!r.ok()) {
+    va_alloc_.Free(*va, len);
+    return r.error();
+  }
+  return va;
+}
+
+VoidResult LinuxVmaMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  mmap_lock_.WriteLock();
+  if (vmas_.FindFirstOverlap(range) != nullptr) {
+    DoMunmapLocked(range);  // MAP_FIXED: replace.
+  }
+  Vma* vma = vmas_.Insert(range.start, range.end, perm);
+  // expand(vma): merge with adjacent equal-permission neighbors.
+  vmas_.TryMergeWithNext(vma);
+  mmap_lock_.WriteUnlock();
+  return VoidResult();
+}
+
+void LinuxVmaMm::DoMunmapLocked(VaRange range) {
+  // Pass 1 (Figure 2, munmap): write-lock and mark every overlapping VMA.
+  std::vector<Vma*> victims;
+  vmas_.ForEachOverlap(range, [&victims](Vma* vma) { victims.push_back(vma); });
+  for (Vma* vma : victims) {
+    vma->lock.WriteLock();
+    vma->seq.WriteBegin();  // WRITE_ONCE(vma.vm_lock_seq)
+    vma->seq.WriteEnd();
+    vma->lock.WriteUnlock();
+  }
+  // Split edge VMAs so erasures are exact.
+  for (Vma*& vma : victims) {
+    if (vma->start < range.start) {
+      Vma* tail = vmas_.SplitAt(vma, range.start);
+      vma = tail;  // The part inside the range.
+    }
+    if (vma->end > range.end) {
+      vmas_.SplitAt(vma, range.end);
+    }
+    vmas_.Erase(vma);
+  }
+  // unmap_vmas() + free_page_tables().
+  std::vector<Pfn> dead_frames;
+  UnmapPtRange(range, &dead_frames);
+  UnchargeAndLruDel(dead_frames.size());
+  FreeEmptyTables(range);
+  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy,
+                                  std::move(dead_frames), &DropFrameRef);
+}
+
+VoidResult LinuxVmaMm::Munmap(Vaddr va, uint64_t len) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  mmap_lock_.WriteLock();
+  DoMunmapLocked(range);
+  mmap_lock_.WriteUnlock();
+  va_alloc_.Free(va, len);
+  return VoidResult();
+}
+
+VoidResult LinuxVmaMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  mmap_lock_.WriteLock();
+  std::vector<Vma*> affected;
+  vmas_.ForEachOverlap(range, [&affected](Vma* vma) { affected.push_back(vma); });
+  for (Vma*& vma : affected) {
+    if (vma->start < range.start) {
+      vma = vmas_.SplitAt(vma, range.start);
+    }
+    if (vma->end > range.end) {
+      vmas_.SplitAt(vma, range.end);
+    }
+    vma->lock.WriteLock();
+    vma->seq.WriteBegin();
+    vma->perm = perm;
+    vma->seq.WriteEnd();
+    vma->lock.WriteUnlock();
+  }
+  // Rewrite present PTEs in the range.
+  std::vector<std::pair<Vaddr, Pfn>> present;
+  pt_.ForEachLeaf(range, [&](Vaddr lva, Pte pte, int) {
+    present.emplace_back(lva, PtePfn(pt_.arch(), pte));
+  });
+  for (const auto& [lva, pfn] : present) {
+    PageTable::WalkResult walk = pt_.Walk(lva);
+    if (walk.present) {
+      Pte old = walk.pte;
+      Perm updated = perm;
+      if (PtePerm(pt_.arch(), old).cow()) {
+        updated = updated.With(Perm::kCow).Without(Perm::kWrite);
+      }
+      pt_.StoreEntry(walk.pt_page, walk.index,
+                     MakeLeafPte(pt_.arch(), PtePfn(pt_.arch(), old), updated, 1));
+    }
+  }
+  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy, {},
+                                  nullptr);
+  mmap_lock_.WriteUnlock();
+  return VoidResult();
+}
+
+// ---------------------------------------------------------------------------
+// Page fault: reader side of mmap_lock + per-VMA read lock (Figure 2).
+// ---------------------------------------------------------------------------
+
+VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
+  CountEvent(Counter::kPageFaults);
+  NoteCpuActive(CurrentCpu());
+  mmap_lock_.ReadLock();
+  Vma* vma = vmas_.Find(va);
+  if (vma == nullptr) {
+    mmap_lock_.ReadUnlock();
+    return ErrCode::kFault;
+  }
+  vma->lock.ReadLock();
+  Perm perm = vma->perm;
+  bool want_write = access == Access::kWrite;
+
+  Vaddr page_va = AlignDown(va, kPageSize);
+  PageTable::WalkResult walk = pt_.Walk(page_va);
+  VoidResult result = VoidResult();
+  if (walk.present) {
+    Perm pte_perm = PtePerm(pt_.arch(), walk.pte);
+    if (want_write && pte_perm.cow()) {
+      // COW resolution under the level-2 PT page lock.
+      CountEvent(Counter::kCowFaults);
+      Pfn leaf_table = EnsurePtPath(page_va);
+      McsNode node;
+      PageDescriptor& table_desc = PhysMem::Instance().Descriptor(leaf_table);
+      table_desc.mcs.Lock(&node);
+      walk = pt_.Walk(page_va);
+      if (walk.present && PtePerm(pt_.arch(), walk.pte).cow()) {
+        Pfn old_pfn = PtePfn(pt_.arch(), walk.pte);
+        PageDescriptor& old_desc = PhysMem::Instance().Descriptor(old_pfn);
+        Perm p = perm.Without(Perm::kCow).With(Perm::kWrite);
+        if (old_desc.mapcount.load(std::memory_order_acquire) == 1) {
+          pt_.StoreEntry(walk.pt_page, walk.index, MakeLeafPte(pt_.arch(), old_pfn, p, 1));
+        } else {
+          Result<Pfn> copy = BuddyAllocator::Instance().AllocFrame();
+          if (!copy.ok()) {
+            result = copy.error();
+          } else {
+            PhysMem::Instance().Descriptor(*copy).ResetForAlloc(FrameType::kAnon);
+            PhysMem::Instance().CopyFrame(*copy, old_pfn);
+            PhysMem::Instance().Descriptor(*copy).mapcount.store(
+                1, std::memory_order_relaxed);
+            pt_.StoreEntry(walk.pt_page, walk.index, MakeLeafPte(pt_.arch(), *copy, p, 1));
+            old_desc.mapcount.fetch_sub(1, std::memory_order_acq_rel);
+            TlbSystem::Instance().Shootdown(asid_, VaRange(page_va, page_va + kPageSize),
+                                            active_cpus_, options_.tlb_policy, {old_pfn},
+                                            &DropFrameRef);
+          }
+        }
+      }
+      table_desc.mcs.Unlock(&node);
+    } else if (!PermAllowsAccess(pte_perm, access)) {
+      result = ErrCode::kFault;
+    }
+  } else if (!PermAllowsAccess(perm, access)) {
+    result = ErrCode::kFault;
+  } else {
+    // Demand-zero fill under the leaf table's lock (Table 1 rule 5).
+    Pfn leaf_table = EnsurePtPath(page_va);
+    McsNode node;
+    PageDescriptor& table_desc = PhysMem::Instance().Descriptor(leaf_table);
+    table_desc.mcs.Lock(&node);
+    Pte pte = pt_.LoadEntry(leaf_table, PtIndex(page_va, 1));
+    if (!PteIsPresent(pt_.arch(), pte)) {
+      Result<Pfn> frame = BuddyAllocator::Instance().AllocZeroedFrame();
+      if (!frame.ok()) {
+        result = frame.error();
+      } else {
+        PageDescriptor& frame_desc = PhysMem::Instance().Descriptor(*frame);
+        frame_desc.ResetForAlloc(FrameType::kAnon);
+        frame_desc.mapcount.store(1, std::memory_order_relaxed);
+        {
+          // Anonymous reverse-map setup (page_add_new_anon_rmap analog).
+          SpinGuard rmap_guard(frame_desc.rmap_lock);
+          frame_desc.owner = this;
+          frame_desc.owner_key = page_va;
+        }
+        pt_.StoreEntry(leaf_table, PtIndex(page_va, 1),
+                       MakeLeafPte(pt_.arch(), *frame, perm, 1));
+        ChargeAndLruAdd(*frame);
+        CountEvent(Counter::kDemandZeroFills);
+      }
+    }
+    table_desc.mcs.Unlock(&node);
+  }
+
+  vma->lock.ReadUnlock();
+  mmap_lock_.ReadUnlock();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// fork
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<LinuxVmaMm> LinuxVmaMm::Fork() {
+  auto child = std::make_unique<LinuxVmaMm>(options_);
+  mmap_lock_.WriteLock();
+  // Duplicate the VMA tree (the cheap enumeration Linux is good at, Fig. 20),
+  // then COW-copy page-table contents within each VMA only.
+  std::vector<Vma*> all;
+  vmas_.ForEachOverlap(VaRange(0, kVaLimit), [&all](Vma* vma) { all.push_back(vma); });
+  for (Vma* vma : all) {
+    child->vmas_.Insert(vma->start, vma->end, vma->perm);
+    VaRange range(vma->start, vma->end);
+    std::vector<std::pair<Vaddr, Pte>> leaves;
+    pt_.ForEachLeaf(range, [&leaves](Vaddr lva, Pte pte, int) {
+      leaves.emplace_back(lva, pte);
+    });
+    for (const auto& [lva, pte] : leaves) {
+      Pfn pfn = PtePfn(pt_.arch(), pte);
+      Perm perm = PtePerm(pt_.arch(), pte);
+      // All private pages take the COW mark, including currently read-only
+      // ones (mprotect(RW)+write after fork must break the sharing).
+      Perm cow = perm.With(Perm::kCow).Without(Perm::kWrite);
+      PageTable::WalkResult walk = pt_.Walk(lva);
+      pt_.StoreEntry(walk.pt_page, walk.index, MakeLeafPte(pt_.arch(), pfn, cow, 1));
+      AddFrameRef(pfn);
+      PhysMem::Instance().Descriptor(pfn).mapcount.fetch_add(1, std::memory_order_acq_rel);
+      Pfn child_table = child->EnsurePtPath(lva);
+      child->pt_.StoreEntry(child_table, PtIndex(lva, 1),
+                            MakeLeafPte(pt_.arch(), pfn, cow, 1));
+    }
+  }
+  TlbSystem::Instance().Shootdown(asid_, VaRange(0, kVaLimit), active_cpus_,
+                                  options_.tlb_policy, {}, nullptr);
+  mmap_lock_.WriteUnlock();
+  return child;
+}
+
+uint64_t LinuxVmaMm::MetaBytes() {
+  mmap_lock_.ReadLock();
+  uint64_t bytes = vmas_.size() * sizeof(Vma);
+  mmap_lock_.ReadUnlock();
+  return bytes;
+}
+
+size_t LinuxVmaMm::VmaCount() {
+  mmap_lock_.ReadLock();
+  size_t n = vmas_.size();
+  mmap_lock_.ReadUnlock();
+  return n;
+}
+
+bool LinuxVmaMm::CheckVmaTree() {
+  mmap_lock_.ReadLock();
+  bool ok = vmas_.CheckInvariants();
+  mmap_lock_.ReadUnlock();
+  return ok;
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,108 @@
+// The Linux-style baseline: the classic two-level-abstraction design the
+// paper analyzes in §2.2 — a VMA tree (software level) synchronized with the
+// hardware page table by the locking rules of Table 1 / Figure 2:
+//
+//   * mmap_lock (rw) protects the whole address space; mmap/munmap/mprotect
+//     take the writer side, page faults the reader side.
+//   * per-VMA locks + sequence counts guard individual VMAs.
+//   * a coarse page_table_lock protects PT pages above level 2; per-PT-page
+//     locks protect levels 2 and 1.
+//
+// This reproduces the contention structure the paper measures against: mmap
+// and munmap serialize on the writer side of mmap_lock; concurrent page
+// faults scale only until the mmap_lock reader count and the VMA locks start
+// bouncing (paper §6.3, "extra synchronization for the VMA layer").
+#ifndef SRC_BASELINE_LINUX_MM_H_
+#define SRC_BASELINE_LINUX_MM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/vma_tree.h"
+#include "src/core/va_alloc.h"
+#include "src/sim/mm_interface.h"
+#include "src/common/cpu.h"
+#include "src/sync/spinlock.h"
+#include "src/tlb/shootdown.h"
+
+namespace cortenmm {
+
+class LinuxVmaMm final : public MmInterface {
+ public:
+  struct Options {
+    Arch arch = Arch::kX86_64;
+    TlbPolicy tlb_policy = TlbPolicy::kSync;
+  };
+
+  explicit LinuxVmaMm(const Options& options);
+  LinuxVmaMm() : LinuxVmaMm(Options{}) {}
+  ~LinuxVmaMm() override;
+
+  const char* name() const override { return "linux-vma"; }
+  Asid asid() const override { return asid_; }
+  PageTable& PageTableFor(CpuId) override { return pt_; }
+  void NoteCpuActive(CpuId cpu) override {
+    if (!active_cpus_.Test(cpu)) {
+      active_cpus_.Set(cpu);
+    }
+  }
+
+  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
+  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  VoidResult Munmap(Vaddr va, uint64_t len) override;
+  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
+  VoidResult HandleFault(Vaddr va, Access access) override;
+
+  uint64_t PtBytes() override { return pt_.CountPtPages() * kPageSize; }
+  // The VMA tree is the software-level abstraction's metadata cost.
+  uint64_t MetaBytes() override;
+
+  // fork() for the LMbench comparison (Figure 20): duplicates the VMA tree
+  // (the cheap part Linux is good at) and COW-copies the page table within
+  // each VMA's range only.
+  std::unique_ptr<LinuxVmaMm> Fork();
+
+  size_t VmaCount();
+
+  // Test support: validates the VMA tree structure.
+  bool CheckVmaTree();
+
+ private:
+  // Page-table plumbing (caller holds the locks per Table 1).
+  Pfn EnsurePtPath(Vaddr va);
+  void UnmapPtRange(VaRange range, std::vector<Pfn>* dead_frames);
+  void FreeEmptyTables(VaRange range);
+  // Removes all VMAs overlapping |range| (splitting edges) and clears the
+  // covered PTEs. Caller holds the mmap_lock writer side.
+  void DoMunmapLocked(VaRange range);
+
+  // The per-fault bookkeeping real Linux performs besides the mapping itself:
+  // memory-cgroup charging and LRU insertion via per-CPU pagevecs that drain
+  // under the global lru_lock. Both are part of why the Linux anon-fault path
+  // is heavier than a bare PTE install, and both contend under load.
+  void ChargeAndLruAdd(Pfn pfn);
+  void UnchargeAndLruDel(uint64_t pages);
+
+  Options options_;
+  Asid asid_;
+  PageTable pt_;
+  VaAllocator va_alloc_;
+  CpuMask active_cpus_;
+
+  PfqRwLock mmap_lock_;
+  VmaTree vmas_;             // Guarded by mmap_lock_.
+  SpinLock page_table_lock_;  // Coarse lock for PT pages above level 2.
+
+  std::atomic<uint64_t> memcg_charged_{0};  // mem_cgroup page counter.
+  SpinLock lru_lock_;
+  std::vector<Pfn> lru_list_;  // Guarded by lru_lock_.
+  struct Pagevec {
+    SpinLock lock;
+    std::vector<Pfn> pages;
+  };
+  CacheAligned<Pagevec> pagevecs_[kMaxCpus];
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_BASELINE_LINUX_MM_H_

@@ -1,0 +1,97 @@
+// NrOS-style baseline (Bhardwaj et al., OSDI'21): node replication. Mutating
+// operations are appended to a shared operation log and applied to per-node
+// replicas; within a replica a coarse reader-writer lock serializes
+// application against reads. NrOS has no demand paging (paper Table 2):
+// mmap maps frames eagerly, so "mmap-PF" for NrOS is just mmap.
+//
+// The result, as in the paper's Figures 1/13/14: reads scale within a
+// replica, but every mutation serializes on the log plus the replica lock —
+// "performance comparable to Linux".
+#ifndef SRC_BASELINE_NROS_MM_H_
+#define SRC_BASELINE_NROS_MM_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/core/va_alloc.h"
+#include "src/sim/mm_interface.h"
+#include "src/sync/pfq_rwlock.h"
+#include "src/sync/spinlock.h"
+#include "src/tlb/shootdown.h"
+
+namespace cortenmm {
+
+class NrosMm final : public MmInterface {
+ public:
+  struct Options {
+    Arch arch = Arch::kX86_64;
+    TlbPolicy tlb_policy = TlbPolicy::kSync;
+    int replicas = 2;  // One per simulated NUMA node.
+  };
+
+  explicit NrosMm(const Options& options);
+  NrosMm() : NrosMm(Options{}) {}
+  ~NrosMm() override;
+
+  const char* name() const override { return "nros"; }
+  Asid asid() const override { return asid_; }
+  PageTable& PageTableFor(CpuId cpu) override;
+  void NoteCpuActive(CpuId cpu) override {
+    if (!active_cpus_.Test(cpu)) {
+      active_cpus_.Set(cpu);
+    }
+  }
+
+  bool demand_paging() const override { return false; }
+
+  // Eager: allocates and maps all frames at mmap time (logged operation).
+  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
+  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  VoidResult Munmap(Vaddr va, uint64_t len) override;
+  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
+  // A fault means the local replica lags the log (or SEGV): sync and retry.
+  VoidResult HandleFault(Vaddr va, Access access) override;
+
+  uint64_t PtBytes() override;
+
+ private:
+  enum class OpKind : uint8_t { kMap, kUnmap, kProtect };
+  struct LogOp {
+    OpKind kind;
+    VaRange range;
+    Perm perm;
+    std::vector<Pfn> frames;  // kMap: one frame per page, allocated upfront.
+  };
+
+  struct Replica {
+    PfqRwLock lock;
+    std::unique_ptr<PageTable> pt;
+    uint64_t applied = 0;  // Log index up to which this replica is current.
+  };
+
+  int ReplicaIndexFor(CpuId cpu) const { return cpu % options_.replicas; }
+
+  // Appends |op| to the log and applies the log to the caller's replica.
+  void Append(LogOp op, CpuId cpu);
+  // Brings |replica| up to the log tail. Caller holds replica.lock (write).
+  void ApplyPendingLocked(Replica& replica);
+  void ApplyOp(Replica& replica, const LogOp& op);
+  // Acquire the replica write lock, catch up, release.
+  void SyncReplica(int index);
+
+  Options options_;
+  Asid asid_;
+  VaAllocator va_alloc_;
+  CpuMask active_cpus_;
+
+  SpinLock log_lock_;
+  std::vector<LogOp> log_;
+  std::atomic<uint64_t> log_tail_{0};
+
+  std::unique_ptr<Replica[]> replicas_;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_BASELINE_NROS_MM_H_

@@ -1,0 +1,98 @@
+// RadixVM-style baseline (Clements et al., EuroSys'13): mapping metadata in a
+// radix tree over page numbers (no interval tree, no mmap_lock) plus
+// *per-core page tables*. Page faults touch only the faulting core's replica,
+// so concurrent faults on disjoint pages share no cache lines — at the price
+// of replicating the page table on every core that touches a mapping, the
+// memory blow-up Figure 22 shows.
+#ifndef SRC_BASELINE_RADIXVM_MM_H_
+#define SRC_BASELINE_RADIXVM_MM_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+
+#include "src/core/va_alloc.h"
+#include "src/sim/mm_interface.h"
+#include "src/sync/spinlock.h"
+#include "src/tlb/shootdown.h"
+
+namespace cortenmm {
+
+class RadixVmMm final : public MmInterface {
+ public:
+  struct Options {
+    Arch arch = Arch::kX86_64;
+    TlbPolicy tlb_policy = TlbPolicy::kSync;
+    int max_cores = 64;  // Replicas are created lazily up to this bound.
+  };
+
+  explicit RadixVmMm(const Options& options);
+  RadixVmMm() : RadixVmMm(Options{}) {}
+  ~RadixVmMm() override;
+
+  const char* name() const override { return "radixvm"; }
+  Asid asid() const override { return asid_; }
+  PageTable& PageTableFor(CpuId cpu) override { return *ReplicaFor(cpu); }
+  void NoteCpuActive(CpuId cpu) override {
+    if (!active_cpus_.Test(cpu)) {
+      active_cpus_.Set(cpu);
+    }
+  }
+
+  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
+  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  VoidResult Munmap(Vaddr va, uint64_t len) override;
+  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
+  VoidResult HandleFault(Vaddr va, Access access) override;
+
+  // Sums *all* replicas: the RadixVM overhead bar in Figure 22.
+  uint64_t PtBytes() override;
+  uint64_t MetaBytes() override;
+
+ private:
+  // Per-virtual-page metadata held in the radix tree.
+  struct PageInfo {
+    enum class State : uint8_t { kUnmapped = 0, kVirtual, kMapped };
+    State state = State::kUnmapped;
+    Perm perm;
+    Pfn pfn = kInvalidPfn;
+    uint64_t mapped_cores = 0;  // Bitmask of replicas holding a PTE (<=64).
+  };
+
+  // A fixed-depth radix tree over the 36-bit page index (9 bits per level),
+  // with a spin lock per interior node — disjoint regions never contend.
+  struct RadixNode;
+  struct RadixLeaf;
+
+  static constexpr int kRadixBits = 9;
+  static constexpr int kRadixFanout = 1 << kRadixBits;
+  static constexpr int kRadixLevels = 4;  // 4 x 9 = 36 bits of page index.
+
+  PageInfo* LookupOrCreate(uint64_t page_index, bool create);
+  void ForRange(VaRange range, bool create,
+                const std::function<void(Vaddr, PageInfo&, SpinLock&)>& fn);
+
+  PageTable* ReplicaFor(CpuId cpu);
+  // Installs / removes a PTE in one replica (guarded by the replica lock).
+  void InstallInReplica(int replica, Vaddr va, Pfn pfn, Perm perm);
+  void RemoveFromReplica(int replica, Vaddr va);
+
+  Options options_;
+  Asid asid_;
+  VaAllocator va_alloc_;
+  CpuMask active_cpus_;
+
+  RadixNode* radix_root_;
+  std::atomic<uint64_t> radix_nodes_{0};
+
+  struct Replica {
+    SpinLock lock;
+    std::unique_ptr<PageTable> pt;
+  };
+  std::unique_ptr<Replica[]> replicas_;
+  SpinLock replica_create_lock_;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_BASELINE_RADIXVM_MM_H_

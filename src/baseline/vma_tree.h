@@ -1,0 +1,98 @@
+// The software-level abstraction CortenMM eliminates: a balanced tree of
+// virtual memory areas, as in Linux (paper §2.2). Implemented as an AVL tree
+// keyed by start address with interval queries, VMA split/merge, and the
+// per-VMA locks + sequence counts the Linux baseline's locking rules
+// (paper Table 1 / Figure 2) require.
+//
+// The tree itself is *not* internally synchronized: callers hold mmap_lock
+// per the Linux rules (reads under the reader side, structural changes under
+// the writer side).
+#ifndef SRC_BASELINE_VMA_TREE_H_
+#define SRC_BASELINE_VMA_TREE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.h"
+#include "src/sync/pfq_rwlock.h"
+#include "src/sync/seqlock.h"
+
+namespace cortenmm {
+
+struct Vma {
+  Vaddr start = 0;
+  Vaddr end = 0;
+  Perm perm;
+
+  // Per-VMA lock + sequence count (Linux's vma_lock / vm_lock_seq).
+  PfqRwLock lock;
+  SeqCount seq;
+
+  // AVL linkage.
+  Vma* left = nullptr;
+  Vma* right = nullptr;
+  int height = 1;
+
+  uint64_t size() const { return end - start; }
+  bool Contains(Vaddr va) const { return va >= start && va < end; }
+  bool Overlaps(VaRange range) const { return start < range.end && range.start < end; }
+};
+
+class VmaTree {
+ public:
+  VmaTree() = default;
+  ~VmaTree();
+  VmaTree(const VmaTree&) = delete;
+  VmaTree& operator=(const VmaTree&) = delete;
+
+  // Inserts a new VMA covering [start, end). The range must not overlap any
+  // existing VMA (callers unmap first). Returns the node.
+  Vma* Insert(Vaddr start, Vaddr end, Perm perm);
+
+  // Removes and frees the node.
+  void Erase(Vma* vma);
+
+  // The VMA containing |va|, or nullptr.
+  Vma* Find(Vaddr va) const;
+
+  // First VMA overlapping |range| (lowest start), or nullptr.
+  Vma* FindFirstOverlap(VaRange range) const;
+
+  // Visits every VMA overlapping |range| in ascending order. The visitor must
+  // not mutate the tree.
+  void ForEachOverlap(VaRange range, const std::function<void(Vma*)>& visit) const;
+
+  // Splits |vma| at |at| (start < at < end); |vma| keeps [start, at) and the
+  // returned node holds [at, end).
+  Vma* SplitAt(Vma* vma, Vaddr at);
+
+  // Merges |vma| with its successor if adjacent with equal permissions.
+  // Returns true if a merge happened (the successor node is freed).
+  bool TryMergeWithNext(Vma* vma);
+
+  // Successor by start address (nullptr if last).
+  Vma* Next(const Vma* vma) const;
+
+  size_t size() const { return count_; }
+
+  // Structural sanity check (tests): AVL balance + ordered, disjoint VMAs.
+  bool CheckInvariants() const;
+
+ private:
+  static int HeightOf(const Vma* node) { return node == nullptr ? 0 : node->height; }
+  static void Update(Vma* node);
+  static Vma* RotateLeft(Vma* node);
+  static Vma* RotateRight(Vma* node);
+  static Vma* Rebalance(Vma* node);
+  static Vma* InsertInto(Vma* node, Vma* fresh);
+  static Vma* EraseFrom(Vma* node, Vaddr start, Vma** erased);
+  static Vma* DetachMin(Vma* node, Vma** min_out);
+  void FreeAll(Vma* node);
+
+  Vma* root_ = nullptr;
+  size_t count_ = 0;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_BASELINE_VMA_TREE_H_

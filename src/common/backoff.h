@@ -1,0 +1,43 @@
+// Bounded spin-then-yield backoff. The evaluation machine may have far fewer
+// hardware threads than simulated CPUs, so unbounded spinning would livelock;
+// every spin loop in the repository uses this helper (DESIGN.md §4.5).
+#ifndef SRC_COMMON_BACKOFF_H_
+#define SRC_COMMON_BACKOFF_H_
+
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace cortenmm {
+
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class SpinBackoff {
+ public:
+  void Spin() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void Reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  int spins_ = 0;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_COMMON_BACKOFF_H_

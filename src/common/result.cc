@@ -1,0 +1,29 @@
+#include "src/common/result.h"
+
+namespace cortenmm {
+
+const char* ErrCodeName(ErrCode code) {
+  switch (code) {
+    case ErrCode::kOk:
+      return "OK";
+    case ErrCode::kNoMem:
+      return "NOMEM";
+    case ErrCode::kInval:
+      return "INVAL";
+    case ErrCode::kExist:
+      return "EXIST";
+    case ErrCode::kNoEnt:
+      return "NOENT";
+    case ErrCode::kFault:
+      return "FAULT";
+    case ErrCode::kAgain:
+      return "AGAIN";
+    case ErrCode::kBusy:
+      return "BUSY";
+    case ErrCode::kNoSpace:
+      return "NOSPACE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace cortenmm

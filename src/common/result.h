@@ -1,0 +1,73 @@
+// A small expected-like result type used across the MM. We avoid exceptions
+// in all hot paths (kernel-style code); fallible operations return
+// Result<T> / ErrCode and callers must check.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+
+namespace cortenmm {
+
+enum class ErrCode {
+  kOk = 0,
+  kNoMem,      // out of physical frames / kernel heap
+  kInval,      // bad arguments (unaligned, out of range)
+  kExist,      // mapping already exists where MAP_FIXED-like semantics forbid it
+  kNoEnt,      // no mapping at the given address
+  kFault,      // access violation (SEGV)
+  kAgain,      // transient failure; retry
+  kBusy,       // resource busy
+  kNoSpace,    // virtual address space exhausted
+};
+
+const char* ErrCodeName(ErrCode code);
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` / `return ErrCode::kNoMem;`.
+  Result(T value) : err_(ErrCode::kOk), value_(std::move(value)) {}
+  Result(ErrCode err) : err_(err) { assert(err != ErrCode::kOk); }
+
+  bool ok() const { return err_ == ErrCode::kOk; }
+  ErrCode error() const { return err_; }
+
+  T& value() {
+    assert(ok());
+    return value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return value_;
+  }
+  T value_or(T fallback) const { return ok() ? value_ : fallback; }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  ErrCode err_;
+  T value_{};
+};
+
+template <>
+class Result<void> {
+ public:
+  Result() : err_(ErrCode::kOk) {}
+  Result(ErrCode err) : err_(err) {}
+
+  bool ok() const { return err_ == ErrCode::kOk; }
+  ErrCode error() const { return err_; }
+
+ private:
+  ErrCode err_;
+};
+
+using VoidResult = Result<void>;
+
+}  // namespace cortenmm
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,55 @@
+// Deterministic PRNG (splitmix64 + xoshiro256**) used by workload generators
+// and property tests. Benchmarks take explicit seeds so runs are repeatable.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace cortenmm {
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedull) {
+    uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi).
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo); }
+
+  // True with probability num/denom.
+  bool Chance(uint64_t num, uint64_t denom) { return Below(denom) < num; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_COMMON_RNG_H_

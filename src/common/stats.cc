@@ -1,0 +1,68 @@
+#include "src/common/stats.h"
+
+#include <sstream>
+
+namespace cortenmm {
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kPageFaults:
+      return "page_faults";
+    case Counter::kCowFaults:
+      return "cow_faults";
+    case Counter::kDemandZeroFills:
+      return "demand_zero_fills";
+    case Counter::kTlbMisses:
+      return "tlb_misses";
+    case Counter::kTlbShootdowns:
+      return "tlb_shootdowns";
+    case Counter::kTlbLazyFlushes:
+      return "tlb_lazy_flushes";
+    case Counter::kPtPagesAllocated:
+      return "pt_pages_allocated";
+    case Counter::kPtPagesFreed:
+      return "pt_pages_freed";
+    case Counter::kFramesAllocated:
+      return "frames_allocated";
+    case Counter::kFramesFreed:
+      return "frames_freed";
+    case Counter::kRcuRetired:
+      return "rcu_retired";
+    case Counter::kRcuFreed:
+      return "rcu_freed";
+    case Counter::kLockRetries:
+      return "lock_retries";
+    case Counter::kBravoSlowdowns:
+      return "bravo_slowdowns";
+    case Counter::kVmaSplits:
+      return "vma_splits";
+    case Counter::kVmaMerges:
+      return "vma_merges";
+    case Counter::kSwapOuts:
+      return "swap_outs";
+    case Counter::kSwapIns:
+      return "swap_ins";
+    case Counter::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::string StatsDomain::Report() const {
+  std::ostringstream os;
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    Counter c = static_cast<Counter>(i);
+    uint64_t total = Total(c);
+    if (total != 0) {
+      os << "  " << CounterName(c) << " = " << total << "\n";
+    }
+  }
+  return os.str();
+}
+
+StatsDomain& GlobalStats() {
+  static StatsDomain domain;
+  return domain;
+}
+
+}  // namespace cortenmm

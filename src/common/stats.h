@@ -1,0 +1,80 @@
+// Lightweight per-CPU event counters. Subsystems bump named counters on hot
+// paths; benchmarks snapshot them to produce kernel/user-style breakdowns
+// (Figures 16 and 17 in the paper).
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/cpu.h"
+
+namespace cortenmm {
+
+// Identifiers for the counters the MM layers maintain.
+enum class Counter : int {
+  kPageFaults = 0,
+  kCowFaults,
+  kDemandZeroFills,
+  kTlbMisses,
+  kTlbShootdowns,
+  kTlbLazyFlushes,
+  kPtPagesAllocated,
+  kPtPagesFreed,
+  kFramesAllocated,
+  kFramesFreed,
+  kRcuRetired,
+  kRcuFreed,
+  kLockRetries,       // adv protocol stale-retries
+  kBravoSlowdowns,    // BRAVO bias revocations
+  kVmaSplits,
+  kVmaMerges,
+  kSwapOuts,
+  kSwapIns,
+  kCount,
+};
+
+const char* CounterName(Counter c);
+
+class StatsDomain {
+ public:
+  void Add(Counter c, uint64_t n = 1) {
+    slots_[CurrentCpu() % kMaxCpus].value.counters[static_cast<int>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Total(Counter c) const {
+    uint64_t sum = 0;
+    for (int cpu = 0; cpu < OnlineCpuCount() && cpu < kMaxCpus; ++cpu) {
+      sum += slots_[cpu].value.counters[static_cast<int>(c)].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void Reset() {
+    for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+      for (auto& counter : slots_[cpu].value.counters) {
+        counter.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::string Report() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> counters[static_cast<int>(Counter::kCount)] = {};
+  };
+  CacheAligned<Slot> slots_[kMaxCpus];
+};
+
+// The process-wide stats domain most subsystems use.
+StatsDomain& GlobalStats();
+
+inline void CountEvent(Counter c, uint64_t n = 1) { GlobalStats().Add(c, n); }
+
+}  // namespace cortenmm
+
+#endif  // SRC_COMMON_STATS_H_

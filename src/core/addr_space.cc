@@ -1,0 +1,358 @@
+// AddrSpace lifecycle and the two locking protocols (paper §4.1, Figures 5-7).
+#include "src/core/addr_space.h"
+
+#include <cassert>
+
+#include "src/common/stats.h"
+#include "src/pmm/buddy.h"
+#include "src/pmm/phys_mem.h"
+#include "src/sync/rcu.h"
+
+namespace cortenmm {
+namespace {
+
+std::atomic<uint16_t> g_next_asid{1};
+
+// True if, assuming full population, the child PT page under the level-|level|
+// page would completely cover |range| (Figure 5 L3 / Figure 6 L5). A range
+// that occupies a child's *entire* span stops at the parent instead: whole-
+// slot operations (huge-page map, subtree unmap) modify the parent's entry,
+// which only the parent's lock protects.
+bool ChildShouldCover(int level, VaRange range) {
+  if (level <= 1) {
+    return false;  // Leaf PT pages have no PT-page children.
+  }
+  uint64_t child_span = PtPageSpan(level - 1);  // == PtEntrySpan(level)
+  Vaddr child_base = AlignDown(range.start, child_span);
+  if (AlignDown(range.end - 1, child_span) != child_base) {
+    return false;
+  }
+  return !(range.start == child_base && range.size() == child_span);
+}
+
+void RcuFreePtPage(void* page) {
+  PageTable::FreePtPage(static_cast<Pfn>(reinterpret_cast<uintptr_t>(page)));
+}
+
+}  // namespace
+
+const char* ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kRw:
+      return "cortenmm-rw";
+    case Protocol::kAdv:
+      return "cortenmm-adv";
+  }
+  return "unknown";
+}
+
+void AddFrameRef(Pfn pfn) {
+  PhysMem::Instance().Descriptor(pfn).refcount.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void DropFrameRef(Pfn pfn) {
+  PageDescriptor& desc = PhysMem::Instance().Descriptor(pfn);
+  if (desc.refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    BuddyAllocator::Instance().FreeFrame(pfn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AddrSpace
+// ---------------------------------------------------------------------------
+
+AddrSpace::AddrSpace(const Options& options)
+    : options_(options),
+      asid_(g_next_asid.fetch_add(1, std::memory_order_relaxed)),
+      pt_(options.arch),
+      va_alloc_(options.per_core_va) {}
+
+AddrSpace::~AddrSpace() {
+  // Tear down every mapping through the transactional interface, then let the
+  // PageTable destructor release the remaining PT pages. Draining the RCU
+  // monitor and lazy shootdowns first keeps teardown race-free.
+  {
+    RCursor cursor = Lock(VaRange(0, kVaLimit));
+    cursor.Unmap(VaRange(0, kVaLimit));
+  }
+  TlbSystem::Instance().DrainAll();
+  Rcu::Instance().DrainAll();
+  // Invalidate any remaining translations for this ASID everywhere.
+  for (CpuId cpu : active_cpus_.ToVector()) {
+    TlbSystem::Instance().CpuTlb(cpu).InvalidateAsid(asid_);
+  }
+}
+
+RCursor AddrSpace::Lock(VaRange range) {
+  assert(!range.empty() && range.IsPageAligned() && range.end <= kVaLimit);
+  RCursor cursor(this, range);
+  if (options_.protocol == Protocol::kRw) {
+    cursor.AcquireRw();
+  } else {
+    cursor.AcquireAdv();
+  }
+  return cursor;
+}
+
+void AddrSpace::TlbFlush(VaRange range, std::vector<Pfn> dead_frames) {
+  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy,
+                                  std::move(dead_frames), &DropFrameRef);
+}
+
+uint64_t AddrSpace::PtBytes() const { return pt_.CountPtPages() * kPageSize; }
+
+// ---------------------------------------------------------------------------
+// RCursor: construction / protocols / release
+// ---------------------------------------------------------------------------
+
+RCursor::RCursor(AddrSpace* space, VaRange range) : space_(space), range_(range) {}
+
+RCursor::RCursor(RCursor&& other) noexcept
+    : space_(other.space_),
+      range_(other.range_),
+      engaged_(other.engaged_),
+      covering_(other.covering_),
+      covering_level_(other.covering_level_),
+      rw_path_(std::move(other.rw_path_)),
+      adv_locked_(std::move(other.adv_locked_)),
+      flush_range_(other.flush_range_),
+      dead_frames_(std::move(other.dead_frames_)),
+      acquire_retries_(other.acquire_retries_) {
+  other.engaged_ = false;
+}
+
+RCursor::~RCursor() {
+  if (!engaged_) {
+    return;
+  }
+  // Perform the deferred TLB shootdown before releasing the locks so that no
+  // transaction can observe the new page-table state with stale TLB entries
+  // still live (paper Figure 8 flushes inside the transaction too).
+  if (!flush_range_.empty() || !dead_frames_.empty()) {
+    space_->TlbFlush(flush_range_,
+                     std::vector<Pfn>(dead_frames_.begin(), dead_frames_.end()));
+  }
+  Release();
+}
+
+// CortenMM_rw (Figure 5): hand-over-hand read locks to the covering PT page,
+// which is write-locked.
+void RCursor::AcquireRw() {
+  PageTable& pt = space_->page_table();
+  PhysMem& mem = PhysMem::Instance();
+  Pfn cur = pt.root();
+  int level = kPtLevels;
+  for (;;) {
+    if (!ChildShouldCover(level, range_)) {
+      // |cur| is the lowest PT page covering the whole range: write-lock it.
+      mem.Descriptor(cur).rw.WriteLock();
+      covering_ = cur;
+      covering_level_ = level;
+      return;
+    }
+    BravoRwLock::ReadCookie cookie = mem.Descriptor(cur).rw.ReadLock();
+    Pte pte = pt.LoadEntry(cur, PtIndex(range_.start, level));
+    if (PteIsPresent(pt.arch(), pte) && !PteIsLeaf(pt.arch(), pte, level)) {
+      rw_path_.push_back(RwPathEntry{cur, cookie});
+      cur = PtePfn(pt.arch(), pte);
+      --level;
+      continue;
+    }
+    // The covering child does not exist (or is a huge leaf): upgrade |cur|
+    // from reader to writer and make it the covering page. |cur| cannot be
+    // freed meanwhile — we hold read locks on all its ancestors.
+    mem.Descriptor(cur).rw.ReadUnlock(cookie);
+    mem.Descriptor(cur).rw.WriteLock();
+    covering_ = cur;
+    covering_level_ = level;
+    return;
+  }
+}
+
+// CortenMM_adv (Figure 6): lock-free traversal in an RCU read-side critical
+// section, MCS-lock the covering page, retry if stale, then DFS-lock all
+// existing descendants.
+void RCursor::AcquireAdv() {
+  PageTable& pt = space_->page_table();
+  PhysMem& mem = PhysMem::Instance();
+  Rcu& rcu = Rcu::Instance();
+  for (;;) {  // Retry loop (Figure 6 L2).
+    rcu.ReadLock();
+    Pfn cur = pt.root();
+    int level = kPtLevels;
+    while (ChildShouldCover(level, range_)) {
+      Pte pte = pt.LoadEntry(cur, PtIndex(range_.start, level));
+      if (!PteIsPresent(pt.arch(), pte) || PteIsLeaf(pt.arch(), pte, level)) {
+        break;
+      }
+      cur = PtePfn(pt.arch(), pte);
+      --level;
+    }
+    McsNode* node = McsNodePool::Get();
+    mem.Descriptor(cur).mcs.Lock(node);
+    if (mem.Descriptor(cur).stale.load(std::memory_order_acquire)) {
+      // Raced with an unmap that removed this PT page: retry (Figure 6 L10).
+      mem.Descriptor(cur).mcs.Unlock(node);
+      McsNodePool::Put(node);
+      rcu.ReadUnlock();
+      ++acquire_retries_;
+      CountEvent(Counter::kLockRetries);
+      continue;
+    }
+    rcu.ReadUnlock();
+    adv_locked_.push_back(AdvLockedPage{cur, node});
+
+    // The traversal stopped where the covering child did not exist (or the
+    // world changed since the lock-free walk). Descend hand-over-hand to the
+    // *proper* covering level, creating missing PT pages born-locked: locking
+    // a high ancestor here would needlessly DFS-lock (and serialize against)
+    // every existing subtree below it.
+    while (ChildShouldCover(level, range_)) {
+      uint64_t index = PtIndex(range_.start, level);
+      Pte pte = pt.LoadEntry(cur, index);
+      Pfn child;
+      if (PteIsPresent(pt.arch(), pte)) {
+        if (PteIsLeaf(pt.arch(), pte, level)) {
+          break;  // A huge leaf covers the range; ops split it under our lock.
+        }
+        // The child appeared between the lock-free walk and the lock: take it
+        // hand-over-hand (top-down order keeps this deadlock-free). It cannot
+        // be stale while we hold its parent.
+        child = PtePfn(pt.arch(), pte);
+        McsNode* child_node = McsNodePool::Get();
+        mem.Descriptor(child).mcs.Lock(child_node);
+        adv_locked_.push_back(AdvLockedPage{child, child_node});
+      } else {
+        // Create the missing child, locked before it becomes reachable.
+        Result<Pfn> created = pt.AllocPtPage(level - 1);
+        if (!created.ok()) {
+          break;  // OOM: fall back to the coarser covering page.
+        }
+        child = *created;
+        McsNode* child_node = McsNodePool::Get();
+        mem.Descriptor(child).mcs.Lock(child_node);
+        adv_locked_.push_back(AdvLockedPage{child, child_node});
+        // Push any metadata mark on the slot down before linking (I2).
+        PushDownMark(cur, level, index, child);
+        pt.StoreEntry(cur, index, MakeTablePte(pt.arch(), child));
+        mem.Descriptor(cur).present_ptes.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Release the ancestor: the transaction's subtree starts at the child.
+      AdvUnlockAndForget(cur);
+      cur = child;
+      --level;
+    }
+
+    covering_ = cur;
+    covering_level_ = level;
+    // Locking phase: preorder DFS over all existing descendants (L17).
+    AdvDfsLockSubtree(cur, level);
+    return;
+  }
+}
+
+void RCursor::AdvDfsLockSubtree(Pfn page, int level) {
+  if (level <= 1) {
+    return;
+  }
+  PageTable& pt = space_->page_table();
+  PhysMem& mem = PhysMem::Instance();
+  // Reading |page|'s slots is safe: we hold |page|'s lock, and removing a
+  // child requires holding both the child and |page| (or an ancestor
+  // transaction, which would first have to lock our covering page).
+  for (uint64_t i = 0; i < kPtesPerPage; ++i) {
+    Pte pte = pt.LoadEntry(page, i);
+    if (!PteIsPresent(pt.arch(), pte) || PteIsLeaf(pt.arch(), pte, level)) {
+      continue;
+    }
+    Pfn child = PtePfn(pt.arch(), pte);
+    McsNode* node = McsNodePool::Get();
+    mem.Descriptor(child).mcs.Lock(node);
+    adv_locked_.push_back(AdvLockedPage{child, node});
+    AdvDfsLockSubtree(child, level - 1);
+  }
+}
+
+void RCursor::Release() {
+  PhysMem& mem = PhysMem::Instance();
+  if (space_->options().protocol == Protocol::kRw) {
+    mem.Descriptor(covering_).rw.WriteUnlock();
+    for (size_t i = rw_path_.size(); i-- > 0;) {
+      mem.Descriptor(rw_path_[i].pfn).rw.ReadUnlock(rw_path_[i].cookie);
+    }
+    rw_path_.clear();
+  } else {
+    // Reverse acquisition order (Figure 6 AddrSpace::unlock).
+    for (size_t i = adv_locked_.size(); i-- > 0;) {
+      mem.Descriptor(adv_locked_[i].pfn).mcs.Unlock(adv_locked_[i].node);
+      McsNodePool::Put(adv_locked_[i].node);
+    }
+    adv_locked_.clear();
+  }
+  engaged_ = false;
+}
+
+// Born-locked registration of a PT page this transaction just created.
+void RCursor::NoteLocked(Pfn pfn, int level) {
+  (void)level;
+  if (space_->options().protocol != Protocol::kAdv) {
+    return;  // kRw: descendants of the write-locked covering page need no lock.
+  }
+  McsNode* node = McsNodePool::Get();
+  // Uncontended: the page is not yet visible to any traversal... it *is*
+  // visible the instant the parent slot is set, but any other transaction
+  // reaching it must first lock our covering page, so Lock() cannot block.
+  PhysMem::Instance().Descriptor(pfn).mcs.Lock(node);
+  adv_locked_.push_back(AdvLockedPage{pfn, node});
+}
+
+void RCursor::AdvUnlockAndForget(Pfn pfn) {
+  // Called while removing a PT page: unlock it and drop it from the locked
+  // set so Release() does not touch freed memory.
+  for (size_t i = adv_locked_.size(); i-- > 0;) {
+    if (adv_locked_[i].pfn == pfn) {
+      PhysMem::Instance().Descriptor(pfn).mcs.Unlock(adv_locked_[i].node);
+      McsNodePool::Put(adv_locked_[i].node);
+      adv_locked_.erase_at(i);
+      return;
+    }
+  }
+  assert(false && "unlocking a PT page this cursor does not hold");
+}
+
+void RCursor::RemoveChildTable(Pfn pt_page, int level, uint64_t index) {
+  PageTable& pt = space_->page_table();
+  PhysMem& mem = PhysMem::Instance();
+  Pte pte = pt.LoadEntry(pt_page, index);
+  assert(PteIsPresent(pt.arch(), pte) && !PteIsLeaf(pt.arch(), pte, level));
+  Pfn child = PtePfn(pt.arch(), pte);
+
+  // Atomically detach the subtree: lock-free traversals now either see the
+  // old child (still valid until the grace period ends) or nothing (Fig. 7).
+  bool detached = pt.CasEntry(pt_page, index, pte, kNullPte);
+  assert(detached && "PTE changed under the covering lock");
+  (void)detached;
+  mem.Descriptor(pt_page).present_ptes.fetch_sub(1, std::memory_order_relaxed);
+
+  if (space_->options().protocol == Protocol::kAdv) {
+    // Mark stale + unlock, children before parents (reverse DFS, Fig. 6 L31),
+    // then hand the pages to the RCU monitor for deferred reclamation.
+    std::vector<std::pair<Pfn, int>> subtree;  // Post-order: children first.
+    pt.ForEachPtPagePostOrder(child, level - 1, [&subtree](Pfn pfn, int lvl) {
+      subtree.emplace_back(pfn, lvl);
+    });
+    for (const auto& [pfn, lvl] : subtree) {
+      mem.Descriptor(pfn).stale.store(true, std::memory_order_release);
+      AdvUnlockAndForget(pfn);
+      Rcu::Instance().Retire(reinterpret_cast<void*>(static_cast<uintptr_t>(pfn)),
+                             &RcuFreePtPage);
+    }
+  } else {
+    // kRw: no traversal can be inside the subtree (it would hold a read lock
+    // on our write-locked covering page), so free immediately.
+    pt.ForEachPtPagePostOrder(child, level - 1,
+                              [](Pfn pfn, int) { PageTable::FreePtPage(pfn); });
+  }
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,281 @@
+// CortenMM's transactional interface for programming the MMU — the C++
+// rendering of the paper's Figure 4.
+//
+//   AddrSpace::Lock(range) -> RCursor
+//
+// runs one of the two locking protocols (§4.1):
+//
+//   kRw  (CortenMM_rw):  hand-over-hand BRAVO-phase-fair *read* locks from the
+//        root down to the "covering PT page" (the lowest PT page whose span
+//        contains the whole range), which is *write*-locked. Descendants need
+//        no locks: any conflicting transaction must pass through the covering
+//        page.
+//   kAdv (CortenMM_adv): lock-free traversal to the covering PT page inside an
+//        RCU read-side critical section, then an MCS lock on the covering page
+//        (retrying if it went stale, i.e. raced with an unmap), then a preorder
+//        DFS locking every existing descendant. Unmapped PT pages are marked
+//        stale and retired to the RCU monitor (Figure 7).
+//
+// The returned RCursor is the only way to manipulate the page table: any
+// combination of Query / Map / Mark / Unmap (plus the Protect extension)
+// executes atomically within the locked range. Destroying the cursor flushes
+// TLBs for the mutated sub-ranges, disposes of unmapped frames according to
+// the shootdown policy, and releases the locks in reverse acquisition order.
+#ifndef SRC_CORE_ADDR_SPACE_H_
+#define SRC_CORE_ADDR_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/small_vec.h"
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/core/status.h"
+#include "src/core/va_alloc.h"
+#include "src/pt/page_table.h"
+#include "src/sync/bravo.h"
+#include "src/sync/mcs_lock.h"
+#include "src/tlb/shootdown.h"
+
+namespace cortenmm {
+
+enum class Protocol {
+  kRw,   // CortenMM_rw
+  kAdv,  // CortenMM_adv
+};
+
+const char* ProtocolName(Protocol protocol);
+
+class AddrSpace;
+
+class RCursor {
+ public:
+  RCursor(RCursor&& other) noexcept;
+  RCursor& operator=(RCursor&&) = delete;
+  RCursor(const RCursor&) = delete;
+  RCursor& operator=(const RCursor&) = delete;
+
+  // Releases all locks (reverse order) and performs the deferred TLB
+  // shootdown / frame reclamation for everything this transaction unmapped.
+  ~RCursor();
+
+  const VaRange& range() const { return range_; }
+
+  // --- Basic operations (paper Figure 4). All addresses/ranges must be page
+  // --- aligned and contained in range(); violations return/assert kInval.
+
+  // Returns the status of the virtual page at |addr|.
+  Status Query(Vaddr addr);
+
+  // Maps physical frame |pfn| at |addr| with |perm| (4 KiB leaf). Any prior
+  // virtually-allocated mark on the page is consumed. Increments the frame's
+  // mapcount and records the reverse mapping.
+  VoidResult Map(Vaddr addr, Pfn pfn, Perm perm);
+
+  // Maps a naturally-aligned huge leaf (level 2 = 2 MiB, level 3 = 1 GiB).
+  VoidResult MapHuge(Vaddr addr, Pfn pfn, Perm perm, int level);
+
+  // Sets every page in |sub| to the virtually-allocated |status| (which must
+  // not be kMapped). Large aligned spans are represented by a single mark on
+  // an upper-level slot (§3.3's on-demand PTE creation). Existing mappings in
+  // |sub| are unmapped first. Marking kInvalid erases marks only.
+  VoidResult Mark(VaRange sub, const Status& status);
+
+  // Unmaps |sub|: clears leaf PTEs and metadata marks, removes fully-covered
+  // PT pages (stale + RCU-retire under kAdv), and queues the frames whose
+  // last mapping died for reclamation after the TLB shootdown.
+  VoidResult Unmap(VaRange sub);
+
+  // Extension: rewrites permissions of every mapped page and every mark in
+  // |sub|. COW marks are preserved (hardware write stays off for COW pages).
+  VoidResult Protect(VaRange sub, Perm perm);
+
+  // Intel MPK (x86-64): tags every mapped page in |sub| with protection key
+  // |pkey| (0..15). Enforcement happens in the MMU against the space's PKRU.
+  VoidResult SetPkey(VaRange sub, int pkey);
+
+  // Rewrites the leaf PTE of the 4 KiB mapped page at |addr| with exactly
+  // |perm| (no COW preservation). Used by the page-fault handler to resolve
+  // COW in place when this space is the sole mapper, and by fork to demote
+  // parent pages to copy-on-write. Refcounts/mapcounts are untouched.
+  VoidResult SetLeafPerm(Vaddr addr, Perm perm);
+
+  // fork support: clones every mapping and mark of this cursor's range into
+  // |child| (which must cover the same range of a fresh address space) in one
+  // page-table-shaped pass: whole PT pages are copied level by level instead
+  // of re-walking from the root per page. Private anonymous pages become
+  // copy-on-write in *both* spaces; file/shared pages are shared as-is;
+  // swap blocks gain a reference. This is the address-space enumeration the
+  // paper calls CortenMM's worst case (Figure 20).
+  VoidResult CloneInto(RCursor& child);
+
+  // Enumerates the status of |sub| as maximal runs of identical status,
+  // invoking visit(run_range, status) for every non-invalid run. Mapped pages
+  // are reported page-by-page (their pfn differs).
+  void ForEachStatus(VaRange sub,
+                     const std::function<void(VaRange, const Status&)>& visit);
+
+  // Number of stale-retry loops the adv protocol took to acquire this cursor.
+  int acquire_retries() const { return acquire_retries_; }
+
+ private:
+  friend class AddrSpace;
+
+  struct RwPathEntry {
+    Pfn pfn;
+    BravoRwLock::ReadCookie cookie;
+  };
+  struct AdvLockedPage {
+    Pfn pfn;
+    McsNode* node;
+  };
+
+  RCursor(AddrSpace* space, VaRange range);
+
+  // ---
+
+  // Protocol bodies (implemented in addr_space.cc).
+  void AcquireRw();
+  void AcquireAdv();
+  void AdvDfsLockSubtree(Pfn page, int level);
+  void Release();
+
+  // --- Op helpers (rcursor.cc) ---
+  PteMetaArray* MetaArrayOf(Pfn pt_page, bool create);
+  PteMeta LoadMeta(Pfn pt_page, uint64_t index);
+  void StoreMeta(Pfn pt_page, uint64_t index, const PteMeta& meta);
+
+  // Ensures the slot |index| of |pt_page| (level |level| > 1) holds a child
+  // table, pushing down any metadata mark or splitting any huge leaf.
+  Result<Pfn> EnsureChild(Pfn pt_page, int level, uint64_t index);
+  // Splits the huge leaf at the slot into a full child table of smaller leaves.
+  Result<Pfn> SplitLeaf(Pfn pt_page, int level, uint64_t index);
+  // Pushes a metadata mark at (pt_page, index) down into child |child|.
+  void PushDownMark(Pfn pt_page, int level, uint64_t index, Pfn child);
+
+  VoidResult CloneSubtree(RCursor& child, Pfn parent_page, Pfn child_page, int level);
+
+  void UnmapIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub);
+  VoidResult MarkIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub,
+                    const Status& status);
+  void ProtectIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub, Perm perm);
+  void StatusIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub,
+                const std::function<void(VaRange, const Status&)>& visit);
+
+  // Detaches the child PT page at (pt_page, index): clears the PTE, and under
+  // kAdv marks the subtree stale, unlocks it and retires it to the RCU
+  // monitor; under kRw frees it immediately (readers hold the covering lock).
+  void RemoveChildTable(Pfn pt_page, int level, uint64_t index);
+
+  void AdvUnlockAndForget(Pfn pfn);
+  void NoteLocked(Pfn pfn, int level);
+  void ClearLeaf(Pfn pt_page, int level, uint64_t index, Vaddr va);
+  void NoteFlush(VaRange range) {
+    flush_range_ = flush_range_.empty()
+                       ? range
+                       : VaRange(flush_range_.start < range.start ? flush_range_.start
+                                                                  : range.start,
+                                 flush_range_.end > range.end ? flush_range_.end : range.end);
+  }
+
+  AddrSpace* space_;
+  VaRange range_;
+  bool engaged_ = true;
+
+  Pfn covering_ = kInvalidPfn;
+  int covering_level_ = 0;
+
+  // kRw state: read-locked ancestors, in acquisition order.
+  SmallVec<RwPathEntry, 4> rw_path_;
+
+  // kAdv state: every locked PT page in acquisition order. MCS nodes come
+  // from the per-thread McsNodePool so their addresses are stable while
+  // enqueued and no transaction pays a heap allocation for them.
+  SmallVec<AdvLockedPage, 16> adv_locked_;
+
+  // Deferred TLB flush + frame reclamation.
+  VaRange flush_range_;
+  SmallVec<Pfn, 8> dead_frames_;
+
+  int acquire_retries_ = 0;
+};
+
+class AddrSpace {
+ public:
+  struct Options {
+    Arch arch = Arch::kX86_64;
+    Protocol protocol = Protocol::kAdv;
+    TlbPolicy tlb_policy = TlbPolicy::kEarlyAck;
+    // Per-core virtual address allocator (§4.5 optimization); the Fig. 16
+    // ablation adv_base disables it.
+    bool per_core_va = true;
+  };
+
+  explicit AddrSpace(const Options& options);
+  ~AddrSpace();
+  AddrSpace(const AddrSpace&) = delete;
+  AddrSpace& operator=(const AddrSpace&) = delete;
+
+  // The transactional interface (paper Figure 4, L10). The only way to
+  // program this address space's MMU state.
+  RCursor Lock(VaRange range);
+
+  const Options& options() const { return options_; }
+  Asid asid() const { return asid_; }
+  PageTable& page_table() { return pt_; }
+  const PageTable& page_table() const { return pt_; }
+
+  // Virtual address allocation (per-core when enabled).
+  Result<Vaddr> AllocVa(uint64_t len) { return va_alloc_.Alloc(len); }
+  void FreeVa(Vaddr va, uint64_t len) { va_alloc_.Free(va, len); }
+
+  // CPU residency for TLB shootdowns. Read-mostly: the simulated MMU calls
+  // this on every access, so avoid the atomic RMW once the bit is set.
+  void NoteCpuActive(CpuId cpu) {
+    if (!active_cpus_.Test(cpu)) {
+      active_cpus_.Set(cpu);
+    }
+  }
+  const CpuMask& active_cpus() const { return active_cpus_; }
+
+  // Flushes |range| on all active CPUs and disposes of |dead_frames| per the
+  // configured policy. Exposed for the page-fault handler's COW remaps.
+  void TlbFlush(VaRange range, std::vector<Pfn> dead_frames);
+
+  // Intel MPK: the per-address-space PKRU register (2 bits per key:
+  // bit 2k = access-disable, bit 2k+1 = write-disable).
+  uint32_t pkru() const { return pkru_.load(std::memory_order_acquire); }
+  void set_pkru(uint32_t value) { pkru_.store(value, std::memory_order_release); }
+  static constexpr uint32_t PkruAccessDisable(int pkey) { return 1u << (2 * pkey); }
+  static constexpr uint32_t PkruWriteDisable(int pkey) { return 1u << (2 * pkey + 1); }
+
+  // Memory-overhead accounting (Figure 22): PT pages and metadata bytes.
+  uint64_t PtBytes() const;
+  uint64_t MetaBytes() const { return meta_bytes_.load(std::memory_order_relaxed); }
+  void AddMetaBytes(int64_t delta) {
+    meta_bytes_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
+  }
+
+ private:
+  friend class RCursor;
+
+  Options options_;
+  Asid asid_;
+  PageTable pt_;
+  VaAllocator va_alloc_;
+  CpuMask active_cpus_;
+  std::atomic<uint32_t> pkru_{0};
+  std::atomic<uint64_t> meta_bytes_{0};
+};
+
+// Drops one reference on a data frame, returning it to the buddy allocator
+// when the last owner disappears. Used as the shootdown FrameFreer.
+void DropFrameRef(Pfn pfn);
+// Adds an owner reference.
+void AddFrameRef(Pfn pfn);
+
+}  // namespace cortenmm
+
+#endif  // SRC_CORE_ADDR_SPACE_H_

@@ -1,0 +1,108 @@
+#include "src/core/va_alloc.h"
+
+#include <algorithm>
+
+namespace cortenmm {
+
+VaAllocator::Stripe& VaAllocator::StripeFor(CpuId cpu) {
+  int index = per_core_ ? cpu : 0;
+  Stripe& stripe = stripes_[index].value;
+  if (stripe.limit == 0) {
+    SpinGuard guard(stripe.lock);
+    if (stripe.limit == 0) {
+      if (per_core_) {
+        uint64_t stripe_size = (kUserVaCeiling - kUserVaBase) / kMaxCpus;
+        stripe.bump = kUserVaBase + static_cast<uint64_t>(index) * stripe_size;
+        stripe.limit = stripe.bump + stripe_size;
+      } else {
+        stripe.bump = kUserVaBase;
+        stripe.limit = kUserVaCeiling;
+      }
+    }
+  }
+  return stripe;
+}
+
+Result<Vaddr> VaAllocator::AllocFrom(Stripe& stripe, uint64_t len) {
+  SpinGuard guard(stripe.lock);
+  // First-fit reuse of freed runs keeps long-running munmap/mmap workloads
+  // from exhausting the stripe.
+  for (size_t i = 0; i < stripe.free_runs.size(); ++i) {
+    if (stripe.free_runs[i].len >= len) {
+      Vaddr va = stripe.free_runs[i].va;
+      if (stripe.free_runs[i].len == len) {
+        stripe.free_runs[i] = stripe.free_runs.back();
+        stripe.free_runs.pop_back();
+      } else {
+        stripe.free_runs[i].va += len;
+        stripe.free_runs[i].len -= len;
+      }
+      return va;
+    }
+  }
+  if (stripe.bump + len > stripe.limit) {
+    return ErrCode::kNoSpace;
+  }
+  Vaddr va = stripe.bump;
+  stripe.bump += len;
+  return va;
+}
+
+Result<Vaddr> VaAllocator::Alloc(uint64_t len) {
+  if (len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  Stripe& home = StripeFor(CurrentCpu());
+  Result<Vaddr> result = AllocFrom(home, len);
+  if (result.ok() || !per_core_) {
+    return result;
+  }
+  // Home stripe exhausted: steal from any other stripe.
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    Result<Vaddr> stolen = AllocFrom(StripeFor(cpu), len);
+    if (stolen.ok()) {
+      return stolen;
+    }
+  }
+  return ErrCode::kNoSpace;
+}
+
+void VaAllocator::Free(Vaddr va, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  len = AlignUp(len, kPageSize);
+  // Return to the owning stripe so per-core reuse stays core-local.
+  int index = 0;
+  if (per_core_) {
+    uint64_t stripe_size = (kUserVaCeiling - kUserVaBase) / kMaxCpus;
+    index = static_cast<int>((va - kUserVaBase) / stripe_size);
+    if (index < 0 || index >= kMaxCpus) {
+      index = 0;
+    }
+  }
+  Stripe& stripe = stripes_[index].value;
+  SpinGuard guard(stripe.lock);
+  if (stripe.limit == 0) {
+    return;  // Freeing into a never-initialized stripe (fixed mapping); drop.
+  }
+  stripe.free_runs.push_back(FreeRun{va, len});
+  // Bounded coalescing keeps the list small without a full sort on every free.
+  if (stripe.free_runs.size() > 1024) {
+    std::vector<FreeRun>& runs = stripe.free_runs;
+    std::sort(runs.begin(), runs.end(),
+              [](const FreeRun& a, const FreeRun& b) { return a.va < b.va; });
+    std::vector<FreeRun> merged;
+    for (const FreeRun& run : runs) {
+      if (!merged.empty() && merged.back().va + merged.back().len == run.va) {
+        merged.back().len += run.len;
+      } else {
+        merged.push_back(run);
+      }
+    }
+    runs.swap(merged);
+  }
+}
+
+}  // namespace cortenmm

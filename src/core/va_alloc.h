@@ -1,0 +1,55 @@
+// Virtual-address allocator. The scalable configuration gives each core a
+// private stripe of the address space (paper §4.5, following Boyd-Wickizer et
+// al.): allocations on different cores never contend. The Fig. 16 ablation
+// (adv_base) runs the single-arena variant instead.
+#ifndef SRC_CORE_VA_ALLOC_H_
+#define SRC_CORE_VA_ALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cpu.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/sync/spinlock.h"
+
+namespace cortenmm {
+
+// User VA window managed by the allocator. Starting at 4 GiB keeps the low
+// region for fixed mappings in tests/examples.
+inline constexpr Vaddr kUserVaBase = 1ull << 32;
+inline constexpr Vaddr kUserVaCeiling = 1ull << 46;  // 64 TiB arena.
+
+class VaAllocator {
+ public:
+  explicit VaAllocator(bool per_core) : per_core_(per_core) {}
+
+  // Returns a page-aligned range of |len| bytes (rounded up to pages).
+  Result<Vaddr> Alloc(uint64_t len);
+  // Returns the range to the allocator's free list.
+  void Free(Vaddr va, uint64_t len);
+
+ private:
+  struct FreeRun {
+    Vaddr va;
+    uint64_t len;
+  };
+  struct Stripe {
+    SpinLock lock;
+    Vaddr bump = 0;
+    Vaddr limit = 0;
+    std::vector<FreeRun> free_runs;
+  };
+
+  Stripe& StripeFor(CpuId cpu);
+  Result<Vaddr> AllocFrom(Stripe& stripe, uint64_t len);
+
+  // With per-core allocation, each CPU owns kUserVa window / kMaxCpus; the
+  // shared variant uses stripe 0 for everything.
+  bool per_core_;
+  CacheAligned<Stripe> stripes_[kMaxCpus];
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_CORE_VA_ALLOC_H_

@@ -1,0 +1,406 @@
+#include "src/core/vm_space.h"
+
+#include <cassert>
+
+#include "src/common/stats.h"
+#include "src/pmm/buddy.h"
+#include "src/pmm/phys_mem.h"
+
+namespace cortenmm {
+namespace {
+
+// Allocates an anonymous data frame owned by |space| at |va|.
+Result<Pfn> AllocAnonFrame(AddrSpace* space, Vaddr va, bool zeroed) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  Result<Pfn> frame = zeroed ? buddy.AllocZeroedFrame() : buddy.AllocFrame();
+  if (!frame.ok()) {
+    return frame;
+  }
+  PageDescriptor& desc = PhysMem::Instance().Descriptor(*frame);
+  desc.ResetForAlloc(FrameType::kAnon);
+  SpinGuard guard(desc.rmap_lock);
+  desc.owner = space;
+  desc.owner_key = va;
+  return frame;
+}
+
+// Releases the swap blocks referenced by Swapped marks in |range|; called
+// before any operation that overwrites marks wholesale (munmap, MAP_FIXED
+// replacement, teardown).
+void DropSwapRefs(RCursor& cursor, VaRange range) {
+  cursor.ForEachStatus(range, [](VaRange run, const Status& status) {
+    if (status.tag == StatusTag::kSwapped) {
+      for (uint64_t p = 0; p < run.num_pages(); ++p) {
+        SwapDevice::Instance().DropBlockRef(status.page_offset + static_cast<uint32_t>(p));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+VmSpace::VmSpace(const AddrSpace::Options& options) : space_(options) {}
+
+VmSpace::~VmSpace() {
+  // Release swap blocks still referenced by marks; the AddrSpace destructor
+  // then tears down the page table itself through the transactional interface.
+  VaRange everything(0, kVaLimit);
+  RCursor cursor = space_.Lock(everything);
+  DropSwapRefs(cursor, everything);
+}
+
+// ---------------------------------------------------------------------------
+// mmap family (paper Figure 8, do_syscall_mmap)
+// ---------------------------------------------------------------------------
+
+Result<Vaddr> VmSpace::MmapAnon(uint64_t len, Perm perm) {
+  Result<Vaddr> va = space_.AllocVa(len);
+  if (!va.ok()) {
+    return va;
+  }
+  VoidResult r = MmapAnonAt(*va, len, perm);
+  if (!r.ok()) {
+    space_.FreeVa(*va, len);
+    return r.error();
+  }
+  return va;
+}
+
+VoidResult VmSpace::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  RCursor cursor = space_.Lock(range);
+  // MAP_FIXED semantics: whatever was there is replaced atomically — swapped
+  // pages being replaced give their blocks back.
+  DropSwapRefs(cursor, range);
+  return cursor.Mark(range, Status::PrivateAnon(perm));
+}
+
+Result<Vaddr> VmSpace::MmapFilePrivate(SimFile* file, uint32_t first_page, uint64_t len,
+                                       Perm perm) {
+  if (file == nullptr || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  Result<Vaddr> va = space_.AllocVa(len);
+  if (!va.ok()) {
+    return va;
+  }
+  VaRange range(*va, *va + len);
+  {
+    RCursor cursor = space_.Lock(range);
+    VoidResult r = cursor.Mark(range, Status::PrivateFileMapped(file->id(), first_page, perm));
+    if (!r.ok()) {
+      space_.FreeVa(*va, len);
+      return r.error();
+    }
+  }
+  file->AddMapping(FileMapping{&space_, *va, first_page,
+                               static_cast<uint32_t>(len >> kPageBits)});
+  return va;
+}
+
+Result<Vaddr> VmSpace::MmapShared(SimFile* object, uint32_t first_page, uint64_t len,
+                                  Perm perm) {
+  if (object == nullptr || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  Result<Vaddr> va = space_.AllocVa(len);
+  if (!va.ok()) {
+    return va;
+  }
+  VaRange range(*va, *va + len);
+  {
+    RCursor cursor = space_.Lock(range);
+    VoidResult r = cursor.Mark(range, Status::SharedAnon(object->id(), first_page, perm));
+    if (!r.ok()) {
+      space_.FreeVa(*va, len);
+      return r.error();
+    }
+  }
+  object->AddMapping(FileMapping{&space_, *va, first_page,
+                                 static_cast<uint32_t>(len >> kPageBits)});
+  return va;
+}
+
+VoidResult VmSpace::Munmap(Vaddr va, uint64_t len) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  {
+    // Figure 8, do_syscall_munmap: one transaction, one Unmap.
+    RCursor cursor = space_.Lock(range);
+    DropSwapRefs(cursor, range);  // Swapped pages lose their blocks.
+    VoidResult r = cursor.Unmap(range);
+    if (!r.ok()) {
+      return r;
+    }
+  }
+  space_.FreeVa(va, len);
+  return VoidResult();
+}
+
+VoidResult VmSpace::Mprotect(Vaddr va, uint64_t len, Perm perm) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  RCursor cursor = space_.Lock(range);
+  return cursor.Protect(range, perm);
+}
+
+VoidResult VmSpace::Msync(Vaddr va, uint64_t len) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  // The simulated page cache *is* the file, so msync only needs to validate
+  // that the range is a mapping and clear dirty state by re-protecting.
+  RCursor cursor = space_.Lock(range);
+  bool any = false;
+  cursor.ForEachStatus(range, [&any](VaRange, const Status&) { any = true; });
+  return any ? VoidResult() : VoidResult(ErrCode::kNoEnt);
+}
+
+VoidResult VmSpace::PkeyMprotect(Vaddr va, uint64_t len, int pkey) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  RCursor cursor = space_.Lock(range);
+  return cursor.SetPkey(range, pkey);
+}
+
+// ---------------------------------------------------------------------------
+// Page faults (paper Figure 8, page_fault_handler)
+// ---------------------------------------------------------------------------
+
+VoidResult VmSpace::FaultInPage(RCursor& cursor, Vaddr page_va, const Status& status,
+                                Access access) {
+  bool want_write = access == Access::kWrite;
+  switch (status.tag) {
+    case StatusTag::kPrivateAnon: {
+      // Demand-zero fill.
+      if ((want_write && !status.perm.write()) ||
+          (access == Access::kRead && !status.perm.read()) ||
+          (access == Access::kExec && !status.perm.exec())) {
+        return ErrCode::kFault;
+      }
+      Result<Pfn> frame = AllocAnonFrame(&space_, page_va, /*zeroed=*/true);
+      if (!frame.ok()) {
+        return frame.error();
+      }
+      CountEvent(Counter::kDemandZeroFills);
+      return cursor.Map(page_va, *frame, status.perm);
+    }
+
+    case StatusTag::kPrivateFileMapped: {
+      SimFile* file = FileRegistry::Instance().Get(status.object_id);
+      if (file == nullptr) {
+        return ErrCode::kFault;
+      }
+      Result<Pfn> cached = file->GetPage(status.page_offset);
+      if (!cached.ok()) {
+        return ErrCode::kFault;
+      }
+      if (want_write) {
+        if (!status.perm.write()) {
+          return ErrCode::kFault;
+        }
+        // Private write: copy the cache page into an exclusive anon frame.
+        Result<Pfn> frame = AllocAnonFrame(&space_, page_va, /*zeroed=*/false);
+        if (!frame.ok()) {
+          return frame.error();
+        }
+        PhysMem::Instance().CopyFrame(*frame, *cached);
+        return cursor.Map(page_va, *frame, status.perm);
+      }
+      // Private read: share the cache frame, hardware read-only + COW mark.
+      AddFrameRef(*cached);
+      Perm cow_perm = status.perm.With(Perm::kCow).Without(Perm::kWrite);
+      return cursor.Map(page_va, *cached, cow_perm);
+    }
+
+    case StatusTag::kSharedAnon: {
+      SimFile* segment = FileRegistry::Instance().Get(status.object_id);
+      if (segment == nullptr) {
+        return ErrCode::kFault;
+      }
+      Result<Pfn> cached = segment->GetPage(status.page_offset);
+      if (!cached.ok()) {
+        return ErrCode::kFault;
+      }
+      AddFrameRef(*cached);
+      return cursor.Map(page_va, *cached, status.perm);
+    }
+
+    case StatusTag::kSwapped: {
+      Result<Pfn> frame = AllocAnonFrame(&space_, page_va, /*zeroed=*/false);
+      if (!frame.ok()) {
+        return frame.error();
+      }
+      VoidResult read = SwapDevice::Instance().ReadBlock(
+          status.page_offset, PhysMem::Instance().FrameData(*frame));
+      if (!read.ok()) {
+        return read;
+      }
+      SwapDevice::Instance().DropBlockRef(status.page_offset);
+      return cursor.Map(page_va, *frame, status.perm);
+    }
+
+    default:
+      return ErrCode::kFault;
+  }
+}
+
+VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
+  CountEvent(Counter::kPageFaults);
+  space_.NoteCpuActive(CurrentCpu());
+  Vaddr page_va = AlignDown(va, kPageSize);
+  VaRange fault_range(page_va, page_va + kPageSize);
+  RCursor cursor = space_.Lock(fault_range);
+  Status status = cursor.Query(page_va);
+
+  if (status.mapped()) {
+    Perm perm = status.perm;
+    bool want_write = access == Access::kWrite;
+    if (want_write && perm.cow()) {
+      // Copy-on-write resolution (Figure 8, Status::Mapped arm).
+      CountEvent(Counter::kCowFaults);
+      PageDescriptor& desc = PhysMem::Instance().Descriptor(status.pfn);
+      FrameType type = desc.type.load(std::memory_order_relaxed);
+      if (type == FrameType::kAnon &&
+          desc.mapcount.load(std::memory_order_acquire) == 1) {
+        // Sole mapper: reclaim write access in place ("no need to COW if
+        // parent/child has left").
+        Perm p = perm.Without(Perm::kCow).With(Perm::kWrite);
+        // Rewrite the PTE without disturbing refcounts.
+        return cursor.SetLeafPerm(page_va, p);
+      }
+      // Shared: copy into an exclusive frame.
+      Result<Pfn> copy = AllocAnonFrame(&space_, page_va, /*zeroed=*/false);
+      if (!copy.ok()) {
+        return copy.error();
+      }
+      PhysMem::Instance().CopyFrame(*copy, status.pfn);
+      Perm p = perm.Without(Perm::kCow).With(Perm::kWrite);
+      return cursor.Map(page_va, *copy, p);  // Unmaps + unrefs the shared frame.
+    }
+    // Permission check against a mapped page (e.g. a racing thread already
+    // resolved this fault: simply return success and let the access retry).
+    if ((want_write && !perm.write()) || (access == Access::kExec && !perm.exec()) ||
+        (access == Access::kRead && !perm.read())) {
+      return ErrCode::kFault;
+    }
+    // Intel MPK: a protection-key violation is a SEGV (SEGV_PKUERR), not a
+    // resolvable fault — the PTE is fine, the thread's PKRU forbids it.
+    uint32_t pkru = space_.pkru();
+    if (pkru != 0 && access != Access::kExec) {
+      PageTable::WalkResult walk = space_.page_table().Walk(page_va);
+      if (walk.present) {
+        int pkey = PtePkey(space_.options().arch, walk.pte);
+        uint32_t bits = (pkru >> (2 * pkey)) & 3;
+        if ((bits & 1) || (want_write && (bits & 2))) {
+          return ErrCode::kFault;
+        }
+      }
+    }
+    return VoidResult();
+  }
+
+  if (status.invalid()) {
+    return ErrCode::kFault;  // SEGV.
+  }
+  return FaultInPage(cursor, page_va, status, access);
+}
+
+// ---------------------------------------------------------------------------
+// Swapping
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> VmSpace::SwapOut(Vaddr va, uint64_t len) {
+  if (!IsAligned(va, kPageSize) || len == 0) {
+    return ErrCode::kInval;
+  }
+  len = AlignUp(len, kPageSize);
+  VaRange range(va, va + len);
+  RCursor cursor = space_.Lock(range);
+
+  struct Victim {
+    Vaddr va;
+    Pfn pfn;
+    Perm perm;
+  };
+  std::vector<Victim> victims;
+  cursor.ForEachStatus(range, [&victims](VaRange run, const Status& status) {
+    if (!status.mapped()) {
+      return;
+    }
+    PhysMem& mem = PhysMem::Instance();
+    for (uint64_t p = 0; p < run.num_pages(); ++p) {
+      Pfn pfn = status.pfn + p;
+      PageDescriptor& desc = mem.Descriptor(pfn);
+      // Only exclusive anonymous pages are swappable here.
+      if (desc.type.load(std::memory_order_relaxed) == FrameType::kAnon &&
+          desc.mapcount.load(std::memory_order_acquire) == 1 &&
+          desc.refcount.load(std::memory_order_acquire) == 1) {
+        victims.push_back(Victim{run.start + (p << kPageBits), pfn, status.perm});
+      }
+    }
+  });
+
+  uint64_t swapped = 0;
+  for (const Victim& victim : victims) {
+    Result<uint32_t> block =
+        SwapDevice::Instance().WriteNewBlock(PhysMem::Instance().FrameData(victim.pfn));
+    if (!block.ok()) {
+      break;
+    }
+    VaRange page(victim.va, victim.va + kPageSize);
+    cursor.Unmap(page);
+    Perm perm = victim.perm.Without(Perm::kCow);
+    cursor.Mark(page, Status::Swapped(0, *block, perm));
+    ++swapped;
+  }
+  return swapped;
+}
+
+// ---------------------------------------------------------------------------
+// fork (paper §4.3 / Figure 20 workloads)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<VmSpace> VmSpace::Fork() {
+  auto child = std::make_unique<VmSpace>(space_.options());
+  VaRange everything(0, kVaLimit);
+
+  // One transaction over each whole address space; the clone then copies the
+  // page table level by level (PT-page-shaped, not page-by-page). The child is
+  // private to this thread, so parent-then-child lock order cannot deadlock.
+  RCursor parent_cursor = space_.Lock(everything);
+  RCursor child_cursor = child->space_.Lock(everything);
+  parent_cursor.CloneInto(child_cursor);
+  return child;
+}
+
+uint64_t VmSpace::ResidentPages() {
+  VaRange everything(0, kVaLimit);
+  RCursor cursor = space_.Lock(everything);
+  uint64_t pages = 0;
+  cursor.ForEachStatus(everything, [&pages](VaRange run, const Status& status) {
+    if (status.mapped()) {
+      pages += run.num_pages();
+    }
+  });
+  return pages;
+}
+
+}  // namespace cortenmm

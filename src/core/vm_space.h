@@ -1,0 +1,82 @@
+// The memory-management "syscall" layer built on the transactional interface —
+// the C++ rendering of the paper's Figure 8. Every entry point locks the
+// affected range once and performs the whole operation (checks + state
+// changes) atomically inside that transaction.
+#ifndef SRC_CORE_VM_SPACE_H_
+#define SRC_CORE_VM_SPACE_H_
+
+#include <memory>
+
+#include "src/core/addr_space.h"
+#include "src/core/backing.h"
+
+namespace cortenmm {
+
+enum class Access : uint8_t {
+  kRead,
+  kWrite,
+  kExec,
+};
+
+class VmSpace {
+ public:
+  explicit VmSpace(const AddrSpace::Options& options);
+  ~VmSpace();
+  VmSpace(const VmSpace&) = delete;
+  VmSpace& operator=(const VmSpace&) = delete;
+
+  AddrSpace& addr_space() { return space_; }
+  const AddrSpace& addr_space() const { return space_; }
+  Asid asid() const { return space_.asid(); }
+
+  // --- mmap family -----------------------------------------------------------
+
+  // Anonymous private mapping at an allocator-chosen address (on-demand
+  // paging: pages materialize on first touch).
+  Result<Vaddr> MmapAnon(uint64_t len, Perm perm);
+  // Anonymous private mapping at a fixed address (MAP_FIXED analog). Replaces
+  // whatever was there.
+  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm);
+  // Private file mapping: reads come from the page cache (COW on write).
+  Result<Vaddr> MmapFilePrivate(SimFile* file, uint32_t first_page, uint64_t len, Perm perm);
+  // Shared mapping of a file or of a kernel-named anonymous segment.
+  Result<Vaddr> MmapShared(SimFile* object, uint32_t first_page, uint64_t len, Perm perm);
+
+  VoidResult Munmap(Vaddr va, uint64_t len);
+  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm);
+  // Writes dirty pages of shared file mappings back (here: validates the
+  // mapping and clears dirty bits; the page cache *is* the file).
+  VoidResult Msync(Vaddr va, uint64_t len);
+
+  // Intel MPK: pkey_mprotect(2) analog — tags the mapped pages of the range
+  // with |pkey|; the MMU then enforces the space's PKRU on every access.
+  VoidResult PkeyMprotect(Vaddr va, uint64_t len, int pkey);
+
+  // --- Faults ------------------------------------------------------------------
+
+  // The page-fault handler (Figure 8). Returns kFault for SEGV.
+  VoidResult HandleFault(Vaddr va, Access access);
+
+  // --- Advanced semantics ------------------------------------------------------
+
+  // Evicts resident exclusive anonymous pages in [va, va+len) to the swap
+  // device. Returns the number of pages swapped out.
+  Result<uint64_t> SwapOut(Vaddr va, uint64_t len);
+
+  // fork(): duplicates every mapping into a new space; private writable pages
+  // become copy-on-write in both parent and child (§4.3).
+  std::unique_ptr<VmSpace> Fork();
+
+  // Total resident pages currently mapped (for memory accounting).
+  uint64_t ResidentPages();
+
+ private:
+  VoidResult FaultInPage(RCursor& cursor, Vaddr page_va, const Status& status,
+                         Access access);
+
+  AddrSpace space_;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_CORE_VM_SPACE_H_

@@ -1,0 +1,223 @@
+#include "src/pmm/buddy.h"
+
+#include <cassert>
+
+#include "src/common/stats.h"
+#include "src/pmm/page_desc.h"
+#include "src/pmm/phys_mem.h"
+
+namespace cortenmm {
+
+BuddyAllocator& BuddyAllocator::Instance() {
+  static BuddyAllocator buddy;
+  return buddy;
+}
+
+BuddyAllocator::BuddyAllocator() {
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    free_heads_[order] = kInvalidPfn;
+  }
+
+  PhysMem& mem = PhysMem::Instance();
+  total_frames_ = mem.num_frames();
+
+  // Frame 0 stays reserved so PFN 0 can double as a null sentinel in PTEs.
+  mem.Descriptor(0).type.store(FrameType::kReserved, std::memory_order_relaxed);
+
+  // Seed the free lists with maximal aligned blocks.
+  Pfn pfn = 1;
+  while (pfn < total_frames_) {
+    int order = kMaxOrder;
+    while (order > 0 &&
+           (!IsAligned(pfn, 1ull << order) || pfn + (1ull << order) > total_frames_)) {
+      --order;
+    }
+    PageDescriptor& desc = mem.Descriptor(pfn);
+    desc.buddy_order = static_cast<uint8_t>(order);
+    PushFree(pfn, order);
+    free_frames_.fetch_add(1ull << order, std::memory_order_relaxed);
+    pfn += 1ull << order;
+  }
+}
+
+void BuddyAllocator::PushFree(Pfn pfn, int order) {
+  PhysMem& mem = PhysMem::Instance();
+  PageDescriptor& desc = mem.Descriptor(pfn);
+  desc.type.store(FrameType::kFree, std::memory_order_relaxed);
+  desc.buddy_order = static_cast<uint8_t>(order);
+  desc.buddy_free.store(true, std::memory_order_relaxed);
+  desc.free_prev = kInvalidPfn;
+  desc.free_next = free_heads_[order];
+  if (free_heads_[order] != kInvalidPfn) {
+    mem.Descriptor(free_heads_[order]).free_prev = pfn;
+  }
+  free_heads_[order] = pfn;
+}
+
+void BuddyAllocator::RemoveFree(Pfn pfn, int order) {
+  PhysMem& mem = PhysMem::Instance();
+  PageDescriptor& desc = mem.Descriptor(pfn);
+  assert(desc.buddy_free.load(std::memory_order_relaxed));
+  if (desc.free_prev != kInvalidPfn) {
+    mem.Descriptor(desc.free_prev).free_next = desc.free_next;
+  } else {
+    free_heads_[order] = desc.free_next;
+  }
+  if (desc.free_next != kInvalidPfn) {
+    mem.Descriptor(desc.free_next).free_prev = desc.free_prev;
+  }
+  desc.buddy_free.store(false, std::memory_order_relaxed);
+  desc.free_next = kInvalidPfn;
+  desc.free_prev = kInvalidPfn;
+}
+
+Pfn BuddyAllocator::PopFree(int order) {
+  Pfn head = free_heads_[order];
+  if (head != kInvalidPfn) {
+    RemoveFree(head, order);
+  }
+  return head;
+}
+
+Result<Pfn> BuddyAllocator::AllocBlockLocked(int order) {
+  int found = order;
+  while (found <= kMaxOrder && free_heads_[found] == kInvalidPfn) {
+    ++found;
+  }
+  if (found > kMaxOrder) {
+    return ErrCode::kNoMem;
+  }
+  Pfn block = PopFree(found);
+  // Split down to the requested order, returning upper halves to free lists.
+  while (found > order) {
+    --found;
+    Pfn upper_half = block + (1ull << found);
+    PushFree(upper_half, found);
+  }
+  PhysMem::Instance().Descriptor(block).buddy_order = static_cast<uint8_t>(order);
+  free_frames_.fetch_sub(1ull << order, std::memory_order_relaxed);
+  return block;
+}
+
+void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
+  PhysMem& mem = PhysMem::Instance();
+  free_frames_.fetch_add(1ull << order, std::memory_order_relaxed);
+  // Coalesce with the buddy while possible.
+  while (order < kMaxOrder) {
+    Pfn buddy = pfn ^ (1ull << order);
+    if (buddy == 0 || buddy >= total_frames_) {
+      break;
+    }
+    PageDescriptor& buddy_desc = mem.Descriptor(buddy);
+    if (!buddy_desc.buddy_free.load(std::memory_order_relaxed) ||
+        buddy_desc.buddy_order != order) {
+      break;
+    }
+    RemoveFree(buddy, order);
+    pfn = pfn < buddy ? pfn : buddy;
+    ++order;
+  }
+  PushFree(pfn, order);
+}
+
+Result<Pfn> BuddyAllocator::AllocBlock(int order) {
+  assert(order >= 0 && order <= kMaxOrder);
+  Result<Pfn> result = [&] {
+    SpinGuard guard(lock_);
+    return AllocBlockLocked(order);
+  }();
+  if (result.ok()) {
+    PhysMem::Instance().Descriptor(*result).ResetForAlloc(FrameType::kKernel);
+    CountEvent(Counter::kFramesAllocated, 1ull << order);
+  }
+  return result;
+}
+
+void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
+  assert(order >= 0 && order <= kMaxOrder);
+  PhysMem::Instance().Descriptor(pfn).type.store(FrameType::kFree, std::memory_order_relaxed);
+  CountEvent(Counter::kFramesFreed, 1ull << order);
+  SpinGuard guard(lock_);
+  FreeBlockLocked(pfn, order);
+}
+
+Result<Pfn> BuddyAllocator::AllocFrame() {
+  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
+  {
+    SpinGuard guard(cache.lock);
+    if (!cache.frames.empty()) {
+      Pfn pfn = cache.frames.back();
+      cache.frames.pop_back();
+      PhysMem::Instance().Descriptor(pfn).ResetForAlloc(FrameType::kKernel);
+      CountEvent(Counter::kFramesAllocated);
+      return pfn;
+    }
+  }
+  // Refill the cache in one batch, then retry.
+  std::vector<Pfn> batch;
+  batch.reserve(kCacheBatch);
+  {
+    SpinGuard guard(lock_);
+    for (int i = 0; i < kCacheBatch; ++i) {
+      Result<Pfn> r = AllocBlockLocked(0);
+      if (!r.ok()) {
+        break;
+      }
+      batch.push_back(*r);
+    }
+  }
+  if (batch.empty()) {
+    return ErrCode::kNoMem;
+  }
+  Pfn pfn = batch.back();
+  batch.pop_back();
+  {
+    SpinGuard guard(cache.lock);
+    cache.frames.insert(cache.frames.end(), batch.begin(), batch.end());
+  }
+  PhysMem::Instance().Descriptor(pfn).ResetForAlloc(FrameType::kKernel);
+  CountEvent(Counter::kFramesAllocated);
+  return pfn;
+}
+
+Result<Pfn> BuddyAllocator::AllocZeroedFrame() {
+  Result<Pfn> r = AllocFrame();
+  if (r.ok()) {
+    PhysMem::Instance().ZeroFrame(*r);
+  }
+  return r;
+}
+
+void BuddyAllocator::FreeFrame(Pfn pfn) {
+  PhysMem::Instance().Descriptor(pfn).type.store(FrameType::kFree, std::memory_order_relaxed);
+  CountEvent(Counter::kFramesFreed);
+  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
+  {
+    SpinGuard guard(cache.lock);
+    if (cache.frames.size() < kCacheMax) {
+      cache.frames.push_back(pfn);
+      return;
+    }
+  }
+  SpinGuard guard(lock_);
+  FreeBlockLocked(pfn, 0);
+}
+
+void BuddyAllocator::FlushCpuCaches() {
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    CpuCache& cache = cpu_caches_[cpu].value;
+    std::vector<Pfn> drained;
+    {
+      SpinGuard guard(cache.lock);
+      drained.swap(cache.frames);
+    }
+    if (!drained.empty()) {
+      SpinGuard guard(lock_);
+      for (Pfn pfn : drained) {
+        FreeBlockLocked(pfn, 0);
+      }
+    }
+  }
+}
+
+}  // namespace cortenmm

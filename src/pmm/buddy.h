@@ -1,0 +1,71 @@
+// Binary buddy allocator over the simulated physical memory, following the
+// Linux design the paper adopts (§4.5 "Physical memory management"): power-of-
+// two blocks with split/coalesce, free-list links stored in page descriptors,
+// plus per-CPU order-0 frame caches so hot single-frame allocation (PT pages,
+// anonymous pages) does not contend on the global lists.
+#ifndef SRC_PMM_BUDDY_H_
+#define SRC_PMM_BUDDY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cpu.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/sync/spinlock.h"
+
+namespace cortenmm {
+
+class BuddyAllocator {
+ public:
+  static constexpr int kMaxOrder = 10;  // Up to 4 MiB blocks.
+
+  static BuddyAllocator& Instance();
+
+  // Allocates a 2^order-frame block; returns the first PFN.
+  Result<Pfn> AllocBlock(int order);
+  void FreeBlock(Pfn pfn, int order);
+
+  // Single-frame fast path through the per-CPU cache.
+  Result<Pfn> AllocFrame();
+  Result<Pfn> AllocZeroedFrame();
+  void FreeFrame(Pfn pfn);
+
+  uint64_t FreeFrameCount() const { return free_frames_.load(std::memory_order_relaxed); }
+  uint64_t TotalFrameCount() const { return total_frames_; }
+
+  // Returns all per-CPU cached frames to the global lists (for accounting in
+  // tests and memory-overhead benches).
+  void FlushCpuCaches();
+
+ private:
+  static constexpr int kCacheBatch = 32;
+  static constexpr int kCacheMax = 64;
+
+  BuddyAllocator();
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  Result<Pfn> AllocBlockLocked(int order);
+  void FreeBlockLocked(Pfn pfn, int order);
+  void PushFree(Pfn pfn, int order);
+  void RemoveFree(Pfn pfn, int order);
+  Pfn PopFree(int order);
+
+  struct CpuCache {
+    SpinLock lock;  // A cache is normally only touched by its own CPU; the
+                    // lock makes FlushCpuCaches and CPU-id collisions safe.
+    std::vector<Pfn> frames;
+  };
+
+  SpinLock lock_;
+  Pfn free_heads_[kMaxOrder + 1];
+  std::atomic<uint64_t> free_frames_{0};
+  uint64_t total_frames_ = 0;
+  CacheAligned<CpuCache> cpu_caches_[kMaxCpus];
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_PMM_BUDDY_H_

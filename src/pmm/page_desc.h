@@ -1,0 +1,96 @@
+// Page descriptors: one per physical frame, allocated contiguously at boot and
+// indexed by PFN — exactly the paper's Figure 3 layout. For PT pages the
+// descriptor carries the locks both locking protocols use, the `stale` flag
+// CortenMM_adv needs, and the lazily-allocated per-PTE metadata array that
+// stores the state advanced memory semantics need outside the MMU (§3.3).
+#ifndef SRC_PMM_PAGE_DESC_H_
+#define SRC_PMM_PAGE_DESC_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/sync/bravo.h"
+#include "src/sync/mcs_lock.h"
+#include "src/sync/spinlock.h"
+
+namespace cortenmm {
+
+enum class FrameType : uint8_t {
+  kFree = 0,     // On a buddy free list.
+  kReserved,     // Never allocatable (frame 0 etc.).
+  kAnon,         // Anonymous user data page.
+  kFileCache,    // Page-cache page of a simulated file.
+  kPageTable,    // A PT page; PT-specific fields are live.
+  kSlab,         // Backs the slab allocator.
+  kKernel,       // Other kernel allocation (NR logs, swap buffers, ...).
+};
+
+// Per-PTE metadata entry: 8 bytes packed, one per PTE slot of a PT page,
+// indexed by PTE offset (paper §3.3). Encodes the Status of the virtual pages
+// the slot covers when that state is not representable in the hardware PTE
+// (virtually-allocated, swapped, file-backed, ...). A meta entry on a
+// *non-leaf* slot marks the slot's whole aligned span with a uniform status.
+struct PteMeta {
+  uint8_t tag = 0;     // StatusTag (see src/core/status.h); 0 = none.
+  uint8_t perm = 0;    // Perm bits.
+  uint16_t aux16 = 0;  // File id / swap device id.
+  uint32_t aux32 = 0;  // Page offset within file / block number.
+
+  bool empty() const { return tag == 0; }
+  void Clear() { tag = 0; perm = 0; aux16 = 0; aux32 = 0; }
+};
+static_assert(sizeof(PteMeta) == 8);
+
+// The metadata array hangs off the PT page's descriptor and is allocated on
+// demand (it is exactly one frame: 512 entries x 8 B = 4 KiB).
+struct PteMetaArray {
+  PteMeta entries[kPtesPerPage];
+};
+static_assert(sizeof(PteMetaArray) == kPageSize);
+
+struct PageDescriptor {
+  // --- Identity / allocator state -----------------------------------------
+  std::atomic<FrameType> type{FrameType::kFree};
+  uint8_t buddy_order = 0;              // Order of the block this frame heads.
+  std::atomic<bool> buddy_free{false};  // Head of a free buddy block.
+  Pfn free_next = kInvalidPfn;          // Buddy free-list links.
+  Pfn free_prev = kInvalidPfn;
+
+  // --- Shared refcounting ---------------------------------------------------
+  // Number of owners (address spaces / caches) holding the frame.
+  std::atomic<uint32_t> refcount{0};
+  // Number of PTEs (across address spaces) mapping this frame; drives the
+  // COW "only mapper left" fast path in the paper's Figure 8 (map_count()).
+  std::atomic<uint32_t> mapcount{0};
+
+  // --- PT-page fields (valid while type == kPageTable) ----------------------
+  uint8_t pt_level = 0;                // 1 = leaf PT page, kPtLevels = root.
+  std::atomic<bool> stale{false};      // Set by CortenMM_adv when unmapped.
+  std::atomic<uint16_t> present_ptes{0};  // Populated-entry count, for pruning.
+  McsLock mcs;                         // CortenMM_adv exclusive lock.
+  BravoRwLock rw;                      // CortenMM_rw BRAVO-pfq lock.
+  std::atomic<PteMetaArray*> meta{nullptr};  // Lazy per-PTE metadata array.
+
+  // --- Reverse mapping (valid for kAnon / kFileCache) ------------------------
+  // Anonymous: owner = AddrSpace*, owner_key = mapping VA.
+  // File cache: owner = SimFile*, owner_key = page index within the file.
+  SpinLock rmap_lock;
+  void* owner = nullptr;
+  uint64_t owner_key = 0;
+
+  void ResetForAlloc(FrameType t) {
+    type.store(t, std::memory_order_relaxed);
+    refcount.store(1, std::memory_order_relaxed);
+    mapcount.store(0, std::memory_order_relaxed);
+    stale.store(false, std::memory_order_relaxed);
+    present_ptes.store(0, std::memory_order_relaxed);
+    pt_level = 0;
+    owner = nullptr;
+    owner_key = 0;
+  }
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_PMM_PAGE_DESC_H_

@@ -1,0 +1,95 @@
+#include "src/pmm/phys_mem.h"
+
+#include <sys/mman.h>
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "src/pmm/page_desc.h"
+
+namespace cortenmm {
+namespace {
+
+size_t g_configured_bytes = 0;
+
+size_t DefaultBytes() {
+  if (const char* env = std::getenv("CORTENMM_PHYS_MB")) {
+    long mb = std::atol(env);
+    if (mb > 0) {
+      return static_cast<size_t>(mb) << 20;
+    }
+  }
+  return size_t{1024} << 20;  // 1 GiB
+}
+
+}  // namespace
+
+void PhysMem::Configure(size_t bytes) { g_configured_bytes = bytes; }
+
+PhysMem& PhysMem::Instance() {
+  static PhysMem mem;
+  return mem;
+}
+
+PhysMem::PhysMem() {
+  bytes_ = AlignUp(g_configured_bytes != 0 ? g_configured_bytes : DefaultBytes(), kPageSize);
+  num_frames_ = bytes_ >> kPageBits;
+
+  // NORESERVE + demand zero: untouched simulated frames cost no host memory.
+  void* mapping = mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  assert(mapping != MAP_FAILED);
+  arena_ = static_cast<std::byte*>(mapping);
+#ifdef MADV_NOHUGEPAGE
+  // Opt out of transparent huge pages: background THP collapse right after a
+  // burst of frame writes perturbs benchmark timing unpredictably, and frame
+  // access locality in the simulated MM bears no relation to host THP gains.
+  madvise(arena_, bytes_, MADV_NOHUGEPAGE);
+#endif
+#ifdef MADV_UNMERGEABLE
+  // Also opt out of KSM: the MM zero-fills frames constantly; same-page
+  // merging would turn first writes into copy-on-write breaks.
+  madvise(arena_, bytes_, MADV_UNMERGEABLE);
+#endif
+
+  descriptors_ = new PageDescriptor[num_frames_];
+}
+
+PhysMem::~PhysMem() {
+  delete[] descriptors_;
+  if (arena_ != nullptr) {
+    munmap(arena_, bytes_);
+  }
+}
+
+PageDescriptor& PhysMem::Descriptor(Pfn pfn) {
+  assert(pfn < num_frames_);
+  return descriptors_[pfn];
+}
+
+const PageDescriptor& PhysMem::Descriptor(Pfn pfn) const {
+  assert(pfn < num_frames_);
+  return descriptors_[pfn];
+}
+
+void PhysMem::Prewarm() {
+  for (size_t page = 0; page < num_frames_; ++page) {
+    // One write per host page is enough to materialize it.
+    arena_[page << kPageBits] = std::byte{0};
+  }
+  // The descriptor array is as large as tens of MB; materialize it too.
+  auto* desc_bytes = reinterpret_cast<volatile char*>(descriptors_);
+  for (size_t off = 0; off < num_frames_ * sizeof(PageDescriptor); off += kPageSize) {
+    (void)desc_bytes[off];
+  }
+}
+
+void PhysMem::ZeroFrame(Pfn pfn) { std::memset(FrameData(pfn), 0, kPageSize); }
+
+void PhysMem::CopyFrame(Pfn dst, Pfn src) {
+  std::memcpy(FrameData(dst), FrameData(src), kPageSize);
+}
+
+}  // namespace cortenmm

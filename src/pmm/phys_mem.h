@@ -1,0 +1,63 @@
+// Simulated physical memory: a demand-zero anonymous mapping carved into
+// 4 KiB frames, plus the page-descriptor array (the `struct page` analog the
+// paper borrows from Linux, §4.5). Frame contents are real memory, so page
+// tables built in them are bit-exact and the software MMU can walk them.
+#ifndef SRC_PMM_PHYS_MEM_H_
+#define SRC_PMM_PHYS_MEM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace cortenmm {
+
+struct PageDescriptor;
+
+class PhysMem {
+ public:
+  // Must be called before Instance() to override the default arena size
+  // (env CORTENMM_PHYS_MB, default 1024 MiB). No-op afterwards.
+  static void Configure(size_t bytes);
+
+  static PhysMem& Instance();
+
+  size_t bytes() const { return bytes_; }
+  size_t num_frames() const { return num_frames_; }
+
+  std::byte* FrameData(Pfn pfn) {
+    return arena_ + (pfn << kPageBits);
+  }
+  const std::byte* FrameData(Pfn pfn) const { return arena_ + (pfn << kPageBits); }
+
+  PageDescriptor& Descriptor(Pfn pfn);
+  const PageDescriptor& Descriptor(Pfn pfn) const;
+
+  bool ValidPfn(Pfn pfn) const { return pfn < num_frames_; }
+
+  // Touches every frame of the arena once so the *host* OS materializes its
+  // pages. Benchmarks call this before timing; otherwise the first system
+  // measured pays the host's demand-zero faults for the whole simulated
+  // physical memory and the comparison is skewed.
+  void Prewarm();
+
+  // Fills a frame with zeros.
+  void ZeroFrame(Pfn pfn);
+  // Copies frame contents (used by copy-on-write resolution).
+  void CopyFrame(Pfn dst, Pfn src);
+
+ private:
+  PhysMem();
+  ~PhysMem();
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+
+  std::byte* arena_ = nullptr;
+  PageDescriptor* descriptors_ = nullptr;
+  size_t bytes_ = 0;
+  size_t num_frames_ = 0;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_PMM_PHYS_MEM_H_

@@ -1,0 +1,102 @@
+#include "src/pmm/slab.h"
+
+#include <cassert>
+
+#include "src/pmm/buddy.h"
+#include "src/pmm/page_desc.h"
+#include "src/pmm/phys_mem.h"
+
+namespace cortenmm {
+
+SlabCache::SlabCache(size_t object_size, const char* name)
+    : name_(name),
+      object_size_(AlignUp(object_size < sizeof(FreeObject) ? sizeof(FreeObject) : object_size,
+                           alignof(std::max_align_t))),
+      objects_per_slab_(kPageSize / object_size_) {
+  assert(object_size_ <= kPageSize / 2);
+  assert(objects_per_slab_ >= 2);
+  // Touch the allocator singletons now: a static SlabCache's destructor
+  // returns frames to them, so they must be constructed first (and therefore
+  // destroyed last).
+  BuddyAllocator::Instance();
+  PhysMem::Instance();
+}
+
+SlabCache::~SlabCache() {
+  for (Pfn pfn : slabs_) {
+    BuddyAllocator::Instance().FreeFrame(pfn);
+  }
+}
+
+bool SlabCache::GrowLocked() {
+  Result<Pfn> frame = BuddyAllocator::Instance().AllocFrame();
+  if (!frame.ok()) {
+    return false;
+  }
+  PhysMem& mem = PhysMem::Instance();
+  mem.Descriptor(*frame).type.store(FrameType::kSlab, std::memory_order_relaxed);
+  slabs_.push_back(*frame);
+  ++slab_frames_;
+  std::byte* base = mem.FrameData(*frame);
+  for (size_t i = 0; i < objects_per_slab_; ++i) {
+    auto* obj = reinterpret_cast<FreeObject*>(base + i * object_size_);
+    obj->next = free_list_;
+    free_list_ = obj;
+  }
+  return true;
+}
+
+void* SlabCache::Alloc() {
+  Magazine& mag = magazines_[CurrentCpu()].value;
+  {
+    SpinGuard guard(mag.lock);
+    if (!mag.objects.empty()) {
+      void* obj = mag.objects.back();
+      mag.objects.pop_back();
+      return obj;
+    }
+  }
+  // Refill a batch from the global freelist.
+  std::vector<void*> batch;
+  batch.reserve(kMagazineBatch);
+  {
+    SpinGuard guard(lock_);
+    for (size_t i = 0; i < kMagazineBatch; ++i) {
+      if (free_list_ == nullptr && !GrowLocked()) {
+        break;
+      }
+      if (free_list_ == nullptr) {
+        break;
+      }
+      batch.push_back(free_list_);
+      free_list_ = free_list_->next;
+    }
+  }
+  if (batch.empty()) {
+    return nullptr;
+  }
+  void* obj = batch.back();
+  batch.pop_back();
+  if (!batch.empty()) {
+    SpinGuard guard(mag.lock);
+    mag.objects.insert(mag.objects.end(), batch.begin(), batch.end());
+  }
+  return obj;
+}
+
+void SlabCache::Free(void* obj) {
+  Magazine& mag = magazines_[CurrentCpu()].value;
+  {
+    SpinGuard guard(mag.lock);
+    if (mag.objects.size() < kMagazineMax) {
+      mag.objects.push_back(obj);
+      return;
+    }
+  }
+  SpinGuard guard(lock_);
+  auto* node = static_cast<FreeObject*>(obj);
+  node->next = free_list_;
+  free_list_ = node;
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,94 @@
+// Slab allocator for fixed-size kernel objects (VMA nodes, file mappings, NR
+// log entries), following the Linux design the paper's implementation reuses
+// (§4.5 "Physical memory management"). Slabs are single buddy frames carved
+// into equal objects with an in-frame freelist; a per-CPU magazine amortizes
+// list locking.
+#ifndef SRC_PMM_SLAB_H_
+#define SRC_PMM_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "src/common/cpu.h"
+#include "src/common/types.h"
+#include "src/sync/spinlock.h"
+
+namespace cortenmm {
+
+class SlabCache {
+ public:
+  // object_size must be >= sizeof(void*) and <= kPageSize / 2.
+  explicit SlabCache(size_t object_size, const char* name);
+  ~SlabCache();
+  SlabCache(const SlabCache&) = delete;
+  SlabCache& operator=(const SlabCache&) = delete;
+
+  void* Alloc();
+  void Free(void* obj);
+
+  size_t object_size() const { return object_size_; }
+  // Frames currently backing this cache (for memory-overhead accounting).
+  size_t slab_frames() const { return slab_frames_; }
+  const char* name() const { return name_; }
+
+ private:
+  struct FreeObject {
+    FreeObject* next;
+  };
+  struct Magazine {
+    SpinLock lock;
+    std::vector<void*> objects;
+  };
+
+  static constexpr size_t kMagazineMax = 32;
+  static constexpr size_t kMagazineBatch = 16;
+
+  // Carves a new slab frame into objects on the global freelist. Caller holds
+  // lock_. Returns false if physical memory is exhausted.
+  bool GrowLocked();
+
+  const char* name_;
+  size_t object_size_;
+  size_t objects_per_slab_;
+
+  SpinLock lock_;
+  FreeObject* free_list_ = nullptr;
+  std::vector<Pfn> slabs_;
+  size_t slab_frames_ = 0;
+
+  CacheAligned<Magazine> magazines_[kMaxCpus];
+};
+
+// Typed convenience wrapper: a SlabCache for T with construct/destroy.
+template <typename T>
+class TypedSlab {
+ public:
+  explicit TypedSlab(const char* name) : cache_(sizeof(T), name) {}
+
+  template <typename... Args>
+  T* New(Args&&... args) {
+    void* raw = cache_.Alloc();
+    if (raw == nullptr) {
+      return nullptr;
+    }
+    return new (raw) T(static_cast<Args&&>(args)...);
+  }
+
+  void Delete(T* obj) {
+    if (obj != nullptr) {
+      obj->~T();
+      cache_.Free(obj);
+    }
+  }
+
+  size_t slab_frames() const { return cache_.slab_frames(); }
+
+ private:
+  SlabCache cache_;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_PMM_SLAB_H_

@@ -1,0 +1,83 @@
+// The hardware page table substrate: PT pages are real frames in the
+// simulated physical memory whose 512 uint64 slots are accessed atomically
+// (the MMU reads them concurrently with kernel updates, exactly as on real
+// hardware). This layer is mechanism only; all locking policy lives in the
+// memory managers built on top (CortenMM core and the baselines).
+#ifndef SRC_PT_PAGE_TABLE_H_
+#define SRC_PT_PAGE_TABLE_H_
+
+#include <atomic>
+#include <functional>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/pt/pte.h"
+
+namespace cortenmm {
+
+class PageTable {
+ public:
+  explicit PageTable(Arch arch);
+  ~PageTable();
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  Arch arch() const { return arch_; }
+  Pfn root() const { return root_; }
+
+  // --- Raw slot access (atomic; PT pages are shared with the software MMU) --
+  Pte LoadEntry(Pfn pt_page, uint64_t index) const;
+  void StoreEntry(Pfn pt_page, uint64_t index, Pte pte);
+  // Returns true and stores |desired| iff the slot still holds |expected|.
+  bool CasEntry(Pfn pt_page, uint64_t index, Pte expected, Pte desired);
+
+  // --- PT page lifecycle ----------------------------------------------------
+  // Allocates a zeroed PT page for the given level and tags its descriptor.
+  Result<Pfn> AllocPtPage(int level);
+  // Frees a PT page (and its metadata array if allocated). The caller must
+  // guarantee no walker can still reach it (CortenMM_adv defers through RCU).
+  static void FreePtPage(Pfn pt_page);
+
+  // --- Software page walk ----------------------------------------------------
+  struct WalkResult {
+    bool present = false;  // A leaf mapping covers the address.
+    Pte pte;               // The leaf PTE (valid if present).
+    int level = 0;         // Level of the leaf (1 = 4K, 2 = 2M, 3 = 1G).
+    Pfn pt_page = 0;       // PT page holding the leaf slot.
+    uint64_t index = 0;    // Slot index within pt_page.
+  };
+  // Translates |va| by walking from the root, as the hardware would. Lock-free;
+  // concurrent updates may race, in which case the caller (the simulated MMU)
+  // simply faults and retries, like real hardware.
+  WalkResult Walk(Vaddr va) const;
+
+  // --- Enumeration ------------------------------------------------------------
+  // Visits every present *leaf* entry whose span intersects |range|, passing
+  // (va, pte, level). Traversal is read-only and lock-free; callers needing a
+  // stable view must hold their protocol's locks.
+  void ForEachLeaf(VaRange range,
+                   const std::function<void(Vaddr, Pte, int)>& visit) const;
+
+  // Visits every PT page in the subtree rooted at |pt_page| (which has
+  // |level|), parents after children (post-order), passing (pfn, level).
+  void ForEachPtPagePostOrder(Pfn pt_page, int level,
+                              const std::function<void(Pfn, int)>& visit) const;
+
+  // Total PT pages reachable from the root (for memory-overhead accounting).
+  uint64_t CountPtPages() const;
+
+ private:
+  void ForEachLeafIn(Pfn pt_page, int level, Vaddr page_va_base, VaRange range,
+                     const std::function<void(Vaddr, Pte, int)>& visit) const;
+
+  Arch arch_;
+  Pfn root_;
+};
+
+// Index of the slot in the level-|level| PT page covering |va| (re-exported
+// from types.h for discoverability next to the page table).
+using cortenmm::PtIndex;
+
+}  // namespace cortenmm
+
+#endif  // SRC_PT_PAGE_TABLE_H_

@@ -1,0 +1,137 @@
+// Arch-neutral PTE view. A Pte is a raw 64-bit word whose interpretation is
+// delegated to the per-ISA codec (pte_x86.h / pte_riscv.h). This is the C++
+// analog of the paper's PageTableEntryTrait (Figure 9): all code above this
+// header is identical across ISAs.
+#ifndef SRC_PT_PTE_H_
+#define SRC_PT_PTE_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/pt/arch.h"
+#include "src/pt/pte_riscv.h"
+#include "src/pt/pte_x86.h"
+
+namespace cortenmm {
+
+struct Pte {
+  uint64_t raw = 0;
+
+  constexpr Pte() = default;
+  constexpr explicit Pte(uint64_t r) : raw(r) {}
+
+  friend constexpr bool operator==(const Pte&, const Pte&) = default;
+};
+
+inline constexpr Pte kNullPte{};
+
+// A PTE pointing to the next-level PT page |child|.
+inline Pte MakeTablePte(Arch arch, Pfn child) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return Pte(X86Pte::MakeTable(child));
+    case Arch::kRiscvSv48:
+      return Pte(RiscvPte::MakeTable(child));
+  }
+  return kNullPte;
+}
+
+// A leaf PTE mapping a (possibly huge) page at the given level.
+inline Pte MakeLeafPte(Arch arch, Pfn pfn, Perm perm, int level) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return Pte(X86Pte::MakeLeaf(pfn, perm, level));
+    case Arch::kRiscvSv48:
+      return Pte(RiscvPte::MakeLeaf(pfn, perm, level));
+  }
+  return kNullPte;
+}
+
+// "Similar to pte_present in Linux" (paper Figure 9).
+inline bool PteIsPresent(Arch arch, Pte pte) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return X86Pte::IsPresent(pte.raw);
+    case Arch::kRiscvSv48:
+      return RiscvPte::IsPresent(pte.raw);
+  }
+  return false;
+}
+
+inline bool PteIsLeaf(Arch arch, Pte pte, int level) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return X86Pte::IsLeaf(pte.raw, level);
+    case Arch::kRiscvSv48:
+      return RiscvPte::IsLeaf(pte.raw, level);
+  }
+  return false;
+}
+
+inline Pfn PtePfn(Arch arch, Pte pte) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return X86Pte::PfnOf(pte.raw);
+    case Arch::kRiscvSv48:
+      return RiscvPte::PfnOf(pte.raw);
+  }
+  return kInvalidPfn;
+}
+
+inline Perm PtePerm(Arch arch, Pte pte) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return X86Pte::PermOf(pte.raw);
+    case Arch::kRiscvSv48:
+      return RiscvPte::PermOf(pte.raw);
+  }
+  return Perm();
+}
+
+inline bool PteAccessed(Arch arch, Pte pte) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return X86Pte::Accessed(pte.raw);
+    case Arch::kRiscvSv48:
+      return RiscvPte::Accessed(pte.raw);
+  }
+  return false;
+}
+
+inline bool PteDirty(Arch arch, Pte pte) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return X86Pte::Dirty(pte.raw);
+    case Arch::kRiscvSv48:
+      return RiscvPte::Dirty(pte.raw);
+  }
+  return false;
+}
+
+// Intel MPK (x86-64 only): protection key of a leaf PTE. Other ISAs have no
+// equivalent field; their codec reports key 0 (no restriction).
+inline Pte PteWithPkey(Arch arch, Pte pte, int pkey) {
+  if (arch == Arch::kX86_64) {
+    return Pte(X86Pte::WithPkey(pte.raw, pkey));
+  }
+  return pte;
+}
+
+inline int PtePkey(Arch arch, Pte pte) {
+  return arch == Arch::kX86_64 ? X86Pte::PkeyOf(pte.raw) : 0;
+}
+
+// The update the hardware page walker would perform on an access.
+inline Pte PteWithAccessDirty(Arch arch, Pte pte, bool write) {
+  switch (arch) {
+    case Arch::kX86_64:
+      return Pte(X86Pte::WithAccessDirty(pte.raw, write));
+    case Arch::kRiscvSv48:
+      return Pte(RiscvPte::WithAccessDirty(pte.raw, write));
+  }
+  return pte;
+}
+
+}  // namespace cortenmm
+
+#endif  // SRC_PT_PTE_H_

@@ -1,0 +1,91 @@
+// Bit-exact RISC-V Sv48 PTE encoding. See the RISC-V privileged spec §4.4/4.5.
+// The two RSW software bits (8-9) are available; bit 8 carries the
+// copy-on-write mark. A present entry with none of R/W/X set is a pointer to
+// the next level; any of R/W/X makes it a leaf (possibly a superpage).
+#ifndef SRC_PT_PTE_RISCV_H_
+#define SRC_PT_PTE_RISCV_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace cortenmm {
+
+struct RiscvPte {
+  static constexpr uint64_t kValid = 1ull << 0;
+  static constexpr uint64_t kRead = 1ull << 1;
+  static constexpr uint64_t kWrite = 1ull << 2;
+  static constexpr uint64_t kExec = 1ull << 3;
+  static constexpr uint64_t kUser = 1ull << 4;
+  static constexpr uint64_t kGlobal = 1ull << 5;
+  static constexpr uint64_t kAccessed = 1ull << 6;
+  static constexpr uint64_t kDirty = 1ull << 7;
+  static constexpr uint64_t kSoftCow = 1ull << 8;  // RSW bit 0.
+  static constexpr int kPpnShift = 10;
+  static constexpr uint64_t kPpnMask = ((1ull << 44) - 1) << kPpnShift;  // PPN[3:0].
+
+  static uint64_t MakeTable(Pfn child) {
+    // V set, R/W/X clear: next-level pointer.
+    return (child << kPpnShift) | kValid;
+  }
+
+  static uint64_t MakeLeaf(Pfn pfn, Perm perm, int level) {
+    (void)level;  // Superpage-ness is positional in Sv48 (leaf above level 1).
+    uint64_t raw = (pfn << kPpnShift) | kValid;
+    if (perm.read()) {
+      raw |= kRead;
+    }
+    if (perm.write()) {
+      raw |= kWrite;
+    }
+    if (perm.exec()) {
+      raw |= kExec;
+    }
+    if (perm.user()) {
+      raw |= kUser;
+    }
+    if (perm.cow()) {
+      raw |= kSoftCow;
+    }
+    return raw;
+  }
+
+  static bool IsPresent(uint64_t raw) { return (raw & kValid) != 0; }
+
+  static bool IsLeaf(uint64_t raw, int level) {
+    (void)level;
+    return (raw & (kRead | kWrite | kExec)) != 0;
+  }
+
+  static Pfn PfnOf(uint64_t raw) { return (raw & kPpnMask) >> kPpnShift; }
+
+  static Perm PermOf(uint64_t raw) {
+    uint8_t bits = 0;
+    if (raw & kRead) {
+      bits |= Perm::kRead;
+    }
+    if (raw & kWrite) {
+      bits |= Perm::kWrite;
+    }
+    if (raw & kExec) {
+      bits |= Perm::kExec;
+    }
+    if (raw & kUser) {
+      bits |= Perm::kUser;
+    }
+    if (raw & kSoftCow) {
+      bits |= Perm::kCow;
+    }
+    return Perm(bits);
+  }
+
+  static bool Accessed(uint64_t raw) { return (raw & kAccessed) != 0; }
+  static bool Dirty(uint64_t raw) { return (raw & kDirty) != 0; }
+  static uint64_t WithAccessDirty(uint64_t raw, bool write) {
+    return raw | kAccessed | (write ? kDirty : 0);
+  }
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_PT_PTE_RISCV_H_

@@ -1,0 +1,93 @@
+// Bit-exact x86-64 (IA-32e 4-level paging) PTE encoding. See Intel SDM
+// Vol. 3A §4.5. Software-available bits: 9-11 and 52-58; we use bit 9 for the
+// copy-on-write mark, exactly the paper's "first unused bit as copy-on-write"
+// (Figure 8).
+#ifndef SRC_PT_PTE_X86_H_
+#define SRC_PT_PTE_X86_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace cortenmm {
+
+struct X86Pte {
+  static constexpr uint64_t kPresent = 1ull << 0;
+  static constexpr uint64_t kWrite = 1ull << 1;
+  static constexpr uint64_t kUser = 1ull << 2;
+  static constexpr uint64_t kAccessed = 1ull << 5;
+  static constexpr uint64_t kDirty = 1ull << 6;
+  static constexpr uint64_t kHuge = 1ull << 7;  // PS: 2M/1G leaf at levels 2/3.
+  static constexpr uint64_t kGlobal = 1ull << 8;
+  static constexpr uint64_t kSoftCow = 1ull << 9;  // Software-available.
+  static constexpr uint64_t kNx = 1ull << 63;
+  static constexpr uint64_t kAddrMask = 0x000ffffffffff000ull;  // Bits 12..51.
+  // Intel MPK: the protection key occupies bits 62:59 of leaf entries.
+  static constexpr int kPkeyShift = 59;
+  static constexpr uint64_t kPkeyMask = 0xfull << kPkeyShift;
+
+  static uint64_t MakeTable(Pfn child) {
+    // Non-leaf entries are maximally permissive; leaves enforce permissions.
+    return (child << kPageBits) | kPresent | kWrite | kUser;
+  }
+
+  static uint64_t MakeLeaf(Pfn pfn, Perm perm, int level) {
+    uint64_t raw = (pfn << kPageBits) | kPresent;
+    if (perm.write()) {
+      raw |= kWrite;
+    }
+    if (perm.user()) {
+      raw |= kUser;
+    }
+    if (!perm.exec()) {
+      raw |= kNx;
+    }
+    if (perm.cow()) {
+      raw |= kSoftCow;
+    }
+    if (level > 1) {
+      raw |= kHuge;
+    }
+    return raw;
+  }
+
+  static bool IsPresent(uint64_t raw) { return (raw & kPresent) != 0; }
+
+  static bool IsLeaf(uint64_t raw, int level) {
+    return level == 1 || (raw & kHuge) != 0;
+  }
+
+  static Pfn PfnOf(uint64_t raw) { return (raw & kAddrMask) >> kPageBits; }
+
+  static Perm PermOf(uint64_t raw) {
+    uint8_t bits = Perm::kRead;  // x86: present implies readable.
+    if (raw & kWrite) {
+      bits |= Perm::kWrite;
+    }
+    if (!(raw & kNx)) {
+      bits |= Perm::kExec;
+    }
+    if (raw & kUser) {
+      bits |= Perm::kUser;
+    }
+    if (raw & kSoftCow) {
+      bits |= Perm::kCow;
+    }
+    return Perm(bits);
+  }
+
+  static uint64_t WithPkey(uint64_t raw, int pkey) {
+    return (raw & ~kPkeyMask) | (static_cast<uint64_t>(pkey & 0xf) << kPkeyShift);
+  }
+  static int PkeyOf(uint64_t raw) { return static_cast<int>((raw & kPkeyMask) >> kPkeyShift); }
+
+  static bool Accessed(uint64_t raw) { return (raw & kAccessed) != 0; }
+  static bool Dirty(uint64_t raw) { return (raw & kDirty) != 0; }
+  static uint64_t WithAccessDirty(uint64_t raw, bool write) {
+    return raw | kAccessed | (write ? kDirty : 0);
+  }
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_PT_PTE_X86_H_

@@ -1,0 +1,111 @@
+// Shared benchmark harness: the MM factory (every system under test behind
+// one switch), a phased multithreaded runner with barrier-synchronized timed
+// sections, a timing decorator that separates "kernel" (MM) time from "user"
+// (compute) time for the paper's breakdown plots, and table formatting.
+#ifndef SRC_SIM_BENCH_UTIL_H_
+#define SRC_SIM_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/mm_interface.h"
+
+namespace cortenmm {
+
+// Every memory manager the evaluation compares (paper §6.1), plus the
+// Figure 16 ablations of CortenMM_adv.
+enum class MmKind {
+  kCortenAdv,      // CortenMM_adv: full optimizations.
+  kCortenRw,       // CortenMM_rw.
+  kLinux,          // Linux-style VMA baseline.
+  kRadixVm,        // RadixVM-style.
+  kNros,           // NrOS-style.
+  kCortenAdvVpa,   // adv_+vpa: per-core VA allocator only (sync shootdown).
+  kCortenAdvBase,  // adv_base: neither optimization.
+};
+
+const char* MmKindName(MmKind kind);
+// Creates an instance; |arch| applies to all kinds.
+std::unique_ptr<MmInterface> MakeMm(MmKind kind, Arch arch = Arch::kX86_64);
+
+// The standard comparison set (Figures 1, 13, 14).
+std::vector<MmKind> ComparisonSet();
+// The ablation set (Figures 16, 17).
+std::vector<MmKind> AblationSet();
+
+// ---------------------------------------------------------------------------
+// Phased multithreaded runner
+// ---------------------------------------------------------------------------
+
+// For each round: every thread runs Setup, all threads synchronize, the timed
+// section runs OpsPerRound ops on every thread, all threads synchronize,
+// Teardown runs. Returns aggregate timed throughput in ops/second.
+struct PhasedSpec {
+  int threads = 1;
+  int rounds = 3;
+  int ops_per_round = 256;
+  // All callbacks receive (thread, round); the timed op also gets the op id.
+  std::function<void(int, int)> setup;
+  std::function<void(int, int, int)> timed_op;
+  std::function<void(int, int)> teardown;
+};
+
+double RunPhased(const PhasedSpec& spec);
+
+// Runs |fn(thread)| on |threads| threads bound to CPUs 0..threads-1 and
+// returns the wall time in seconds.
+double RunParallel(int threads, const std::function<void(int)>& fn);
+
+// ---------------------------------------------------------------------------
+// Kernel/user time split
+// ---------------------------------------------------------------------------
+
+// Wraps an MmInterface, accumulating the time spent inside MM entry points —
+// the "kernel time" of the paper's Figure 16/17 breakdowns.
+class TimingMm final : public MmInterface {
+ public:
+  explicit TimingMm(MmInterface* inner) : inner_(inner) {}
+
+  const char* name() const override { return inner_->name(); }
+  Asid asid() const override { return inner_->asid(); }
+  PageTable& PageTableFor(CpuId cpu) override { return inner_->PageTableFor(cpu); }
+  void NoteCpuActive(CpuId cpu) override { inner_->NoteCpuActive(cpu); }
+  bool demand_paging() const override { return inner_->demand_paging(); }
+  uint64_t PtBytes() override { return inner_->PtBytes(); }
+  uint64_t MetaBytes() override { return inner_->MetaBytes(); }
+
+  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
+  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  VoidResult Munmap(Vaddr va, uint64_t len) override;
+  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
+  VoidResult HandleFault(Vaddr va, Access access) override;
+
+  // Total nanoseconds spent in MM entry points, across all threads.
+  uint64_t KernelNanos() const;
+  void ResetKernelNanos();
+
+ private:
+  MmInterface* inner_;
+  CacheAligned<std::atomic<uint64_t>> nanos_[kMaxCpus];
+};
+
+// ---------------------------------------------------------------------------
+// Output formatting
+// ---------------------------------------------------------------------------
+
+// Prints a figure/table header with the paper reference and expectation note.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation);
+
+// Prints one aligned row: first column label then numeric columns.
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              const std::vector<std::string>& units = {});
+
+// Thread counts to sweep given this machine (1..2x hardware threads).
+std::vector<int> SweepThreads();
+
+}  // namespace cortenmm
+
+#endif  // SRC_SIM_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// The facade every evaluated memory manager implements, so the benchmark
+// harness and the simulated MMU can drive CortenMM (rw/adv), the Linux-style
+// VMA baseline, RadixVM-style and NrOS-style managers uniformly.
+#ifndef SRC_SIM_MM_INTERFACE_H_
+#define SRC_SIM_MM_INTERFACE_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/core/vm_space.h"
+#include "src/pt/page_table.h"
+#include "src/tlb/tlb.h"
+
+namespace cortenmm {
+
+class MmInterface {
+ public:
+  virtual ~MmInterface() = default;
+
+  virtual const char* name() const = 0;
+  virtual Asid asid() const = 0;
+
+  // The page table the simulated MMU on |cpu| walks. RadixVM returns a
+  // per-core replica; everyone else returns the shared tree.
+  virtual PageTable& PageTableFor(CpuId cpu) = 0;
+
+  virtual void NoteCpuActive(CpuId cpu) = 0;
+
+  // --- MM operations -----------------------------------------------------
+  virtual Result<Vaddr> MmapAnon(uint64_t len, Perm perm) = 0;
+  virtual VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) = 0;
+  virtual VoidResult Munmap(Vaddr va, uint64_t len) = 0;
+  virtual VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) = 0;
+  virtual VoidResult HandleFault(Vaddr va, Access access) = 0;
+
+  // --- Capability flags (paper Table 2) -----------------------------------
+  virtual bool demand_paging() const { return true; }
+
+  // Intel MPK: the PKRU value the MMU enforces (0 = all keys permitted).
+  virtual uint32_t Pkru() const { return 0; }
+
+  // --- Accounting (Figure 22) ----------------------------------------------
+  virtual uint64_t PtBytes() { return 0; }
+  virtual uint64_t MetaBytes() { return 0; }
+};
+
+// Adapter exposing a CortenMM VmSpace through the facade.
+class CortenVm final : public MmInterface {
+ public:
+  explicit CortenVm(const AddrSpace::Options& options) : vm_(options) {}
+
+  VmSpace& vm() { return vm_; }
+
+  const char* name() const override {
+    return ProtocolName(vm_.addr_space().options().protocol);
+  }
+  Asid asid() const override { return vm_.asid(); }
+  PageTable& PageTableFor(CpuId) override { return vm_.addr_space().page_table(); }
+  void NoteCpuActive(CpuId cpu) override { vm_.addr_space().NoteCpuActive(cpu); }
+
+  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override {
+    return vm_.MmapAnon(len, perm);
+  }
+  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override {
+    return vm_.MmapAnonAt(va, len, perm);
+  }
+  VoidResult Munmap(Vaddr va, uint64_t len) override { return vm_.Munmap(va, len); }
+  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override {
+    return vm_.Mprotect(va, len, perm);
+  }
+  VoidResult HandleFault(Vaddr va, Access access) override {
+    return vm_.HandleFault(va, access);
+  }
+
+  uint32_t Pkru() const override { return vm_.addr_space().pkru(); }
+  uint64_t PtBytes() override { return vm_.addr_space().PtBytes(); }
+  uint64_t MetaBytes() override { return vm_.addr_space().MetaBytes(); }
+
+ private:
+  VmSpace vm_;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_SIM_MM_INTERFACE_H_

@@ -1,0 +1,38 @@
+// The simulated MMU: the hardware-side page walker. Every simulated memory
+// access goes TLB -> page walk -> page-fault upcall, exactly the path real
+// loads/stores take; this is what turns the paper's kernel code paths into
+// measurable user-space code paths (DESIGN.md substitution #1).
+#ifndef SRC_SIM_MMU_H_
+#define SRC_SIM_MMU_H_
+
+#include <cstdint>
+
+#include "src/sim/mm_interface.h"
+
+namespace cortenmm {
+
+class MmuSim {
+ public:
+  // Ticks between lazy-shootdown pump runs (timer-interrupt analog).
+  static constexpr int kTickPeriod = 64;
+
+  // Performs one 8-byte simulated access at |va| (must be 8-byte aligned).
+  // On a write, stores |write_value|; on a read, *out receives the value.
+  // Returns kFault if the MM reports SEGV.
+  static VoidResult Access(MmInterface& mm, Vaddr va, Access access,
+                           uint64_t write_value = 0, uint64_t* out = nullptr);
+
+  static VoidResult Read(MmInterface& mm, Vaddr va, uint64_t* out) {
+    return Access(mm, va, Access::kRead, 0, out);
+  }
+  static VoidResult Write(MmInterface& mm, Vaddr va, uint64_t value) {
+    return Access(mm, va, Access::kWrite, value);
+  }
+
+  // Touches one 8-byte word in every page of [va, va+len).
+  static VoidResult TouchRange(MmInterface& mm, Vaddr va, uint64_t len, bool write);
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_SIM_MMU_H_

@@ -1,0 +1,94 @@
+#include "src/sync/bravo.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/backoff.h"
+#include "src/common/cpu.h"
+#include "src/common/stats.h"
+
+namespace cortenmm {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+BravoTable& BravoTable::Instance() {
+  static BravoTable table;
+  return table;
+}
+
+std::atomic<const BravoRwLock*>& BravoTable::SlotFor(const BravoRwLock* lock) {
+  // Mix the lock address and the CPU id so concurrent readers of the same lock
+  // land in different slots while a given (lock, thread) pair is stable.
+  uint64_t h = reinterpret_cast<uint64_t>(lock) >> 4;
+  h ^= static_cast<uint64_t>(CurrentCpu()) * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 29;
+  return slots_[h % kSlots];
+}
+
+BravoRwLock::ReadCookie BravoRwLock::ReadLock() {
+  if (rbias_.load(std::memory_order_acquire)) {
+    std::atomic<const BravoRwLock*>& slot = BravoTable::Instance().SlotFor(this);
+    const BravoRwLock* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, this, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      // Re-check the bias: a writer may have revoked it between the load and
+      // the publish; if so, fall back (the writer's scan will see us clear).
+      if (rbias_.load(std::memory_order_acquire)) {
+        return ReadCookie::kFastPath;
+      }
+      slot.store(nullptr, std::memory_order_release);
+    }
+  }
+  underlying_.ReadLock();
+  // Consider re-arming the bias once the inhibition window has passed.
+  if (!rbias_.load(std::memory_order_relaxed) &&
+      NowNanos() >= inhibit_until_ns_.load(std::memory_order_relaxed)) {
+    rbias_.store(true, std::memory_order_release);
+  }
+  return ReadCookie::kUnderlying;
+}
+
+void BravoRwLock::ReadUnlock(ReadCookie cookie) {
+  if (cookie == ReadCookie::kFastPath) {
+    std::atomic<const BravoRwLock*>& slot = BravoTable::Instance().SlotFor(this);
+    slot.store(nullptr, std::memory_order_release);
+    return;
+  }
+  underlying_.ReadUnlock();
+}
+
+void BravoRwLock::WriteLock() {
+  underlying_.WriteLock();
+  if (rbias_.load(std::memory_order_acquire)) {
+    // Revoke: no new fast-path readers can start (they re-check rbias); wait
+    // for published ones to drain.
+    rbias_.store(false, std::memory_order_release);
+    uint64_t scan_start = NowNanos();
+    BravoTable& table = BravoTable::Instance();
+    SpinBackoff backoff;
+    for (int i = 0; i < BravoTable::kSlots; ++i) {
+      while (table.SlotAt(i).load(std::memory_order_acquire) == this) {
+        backoff.Spin();
+      }
+    }
+    // Inhibit re-biasing for N x the revocation cost (N = 9, as in the BRAVO
+    // paper), so write-heavy phases amortize the table scan away.
+    uint64_t scan_end = NowNanos();
+    inhibit_until_ns_.store(scan_end + 9 * (scan_end - scan_start + 1),
+                            std::memory_order_relaxed);
+    CountEvent(Counter::kBravoSlowdowns);
+  }
+}
+
+void BravoRwLock::WriteUnlock() { underlying_.WriteUnlock(); }
+
+}  // namespace cortenmm

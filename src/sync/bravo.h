@@ -1,0 +1,65 @@
+// BRAVO reader bias (Dice & Kogan, ATC'19) layered over the phase-fair lock.
+// Readers of a read-biased lock publish themselves in a global visible-readers
+// table and skip the underlying lock entirely; a writer revokes the bias, scans
+// the table until no reader of this lock remains visible, and inhibits
+// re-biasing for a period proportional to the revocation cost.
+//
+// CortenMM_rw's per-PT-page lock is exactly this combination ("BRAVO-pfqlock",
+// paper §4.5): page-table read traversals of disjoint transactions then scale
+// without bouncing the lock cache line.
+#ifndef SRC_SYNC_BRAVO_H_
+#define SRC_SYNC_BRAVO_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/sync/pfq_rwlock.h"
+
+namespace cortenmm {
+
+class BravoRwLock;
+
+// Global visible-readers table shared by all BRAVO locks.
+class BravoTable {
+ public:
+  static constexpr int kSlots = 4096;
+
+  static BravoTable& Instance();
+
+  // The slot a given (lock, thread) pair publishes in.
+  std::atomic<const BravoRwLock*>& SlotFor(const BravoRwLock* lock);
+  std::atomic<const BravoRwLock*>& SlotAt(int i) { return slots_[i]; }
+
+ private:
+  std::atomic<const BravoRwLock*> slots_[kSlots] = {};
+};
+
+class BravoRwLock {
+ public:
+  // Opaque cookie a reader carries from ReadLock to ReadUnlock. It records
+  // whether the fast path (visible-readers table) or the underlying phase-fair
+  // lock was taken.
+  enum class ReadCookie : uint8_t { kUnderlying = 0, kFastPath = 1 };
+
+  BravoRwLock() = default;
+  BravoRwLock(const BravoRwLock&) = delete;
+  BravoRwLock& operator=(const BravoRwLock&) = delete;
+
+  ReadCookie ReadLock();
+  void ReadUnlock(ReadCookie cookie);
+  void WriteLock();
+  void WriteUnlock();
+
+  bool read_biased() const { return rbias_.load(std::memory_order_relaxed); }
+
+ private:
+  PfqRwLock underlying_;
+  std::atomic<bool> rbias_{true};
+  // Re-biasing is inhibited until this steady_clock nanosecond timestamp —
+  // N x the last revocation's duration, as in the BRAVO paper.
+  std::atomic<uint64_t> inhibit_until_ns_{0};
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_SYNC_BRAVO_H_

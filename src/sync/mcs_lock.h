@@ -1,0 +1,87 @@
+// MCS queue lock (Mellor-Crummey & Scott, TOCS'91). CortenMM_adv uses this as
+// the mutually-exclusive per-PT-page spin lock (paper §4.5): each waiter spins
+// on its own queue node, so contended acquisition generates no global cache
+// traffic and hand-off is FIFO-fair.
+//
+// The caller owns the queue node and must keep it alive (and at a stable
+// address) from Lock() until Unlock(). RCursor keeps one node per locked PT
+// page in a std::deque, whose elements never move.
+#ifndef SRC_SYNC_MCS_LOCK_H_
+#define SRC_SYNC_MCS_LOCK_H_
+
+#include <atomic>
+#include <cassert>
+
+#include "src/common/backoff.h"
+
+namespace cortenmm {
+
+struct McsNode {
+  std::atomic<McsNode*> next{nullptr};
+  std::atomic<bool> locked{false};
+};
+
+class McsLock {
+ public:
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void Lock(McsNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->locked.store(true, std::memory_order_relaxed);
+    McsNode* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    if (prev == nullptr) {
+      return;  // Uncontended.
+    }
+    prev->next.store(node, std::memory_order_release);
+    SpinBackoff backoff;
+    while (node->locked.load(std::memory_order_acquire)) {
+      backoff.Spin();
+    }
+  }
+
+  bool TryLock(McsNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->locked.store(false, std::memory_order_relaxed);
+    McsNode* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, node, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void Unlock(McsNode* node) {
+    McsNode* successor = node->next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+      McsNode* expected = node;
+      if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;  // No waiter.
+      }
+      // A waiter is in the middle of enqueueing; wait for the link.
+      SpinBackoff backoff;
+      while ((successor = node->next.load(std::memory_order_acquire)) == nullptr) {
+        backoff.Spin();
+      }
+    }
+    successor->locked.store(false, std::memory_order_release);
+  }
+
+  bool IsLockedHint() const { return tail_.load(std::memory_order_relaxed) != nullptr; }
+
+ private:
+  std::atomic<McsNode*> tail_{nullptr};
+};
+
+// A per-thread pool of MCS queue nodes with stable addresses. An RCursor may
+// hold one node per locked PT page; pooling avoids a heap allocation per
+// transaction while keeping node addresses stable across cursor moves (the
+// pool owns the storage, the cursor only holds pointers).
+class McsNodePool {
+ public:
+  static McsNode* Get();
+  static void Put(McsNode* node);
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_SYNC_MCS_LOCK_H_

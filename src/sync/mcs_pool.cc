@@ -1,0 +1,39 @@
+#include <memory>
+#include <vector>
+
+#include "src/sync/mcs_lock.h"
+
+namespace cortenmm {
+namespace {
+
+constexpr size_t kChunkNodes = 64;
+
+struct Pool {
+  std::vector<McsNode*> free_nodes;
+  std::vector<std::unique_ptr<McsNode[]>> chunks;
+};
+
+thread_local Pool tls_pool;
+
+}  // namespace
+
+// Note: nodes must be returned on the thread that obtained them (an RCursor
+// is used by a single thread, so this holds throughout the repository).
+McsNode* McsNodePool::Get() {
+  Pool& pool = tls_pool;
+  if (pool.free_nodes.empty()) {
+    pool.chunks.push_back(std::make_unique<McsNode[]>(kChunkNodes));
+    McsNode* chunk = pool.chunks.back().get();
+    pool.free_nodes.reserve(pool.free_nodes.size() + kChunkNodes);
+    for (size_t i = 0; i < kChunkNodes; ++i) {
+      pool.free_nodes.push_back(&chunk[i]);
+    }
+  }
+  McsNode* node = pool.free_nodes.back();
+  pool.free_nodes.pop_back();
+  return node;
+}
+
+void McsNodePool::Put(McsNode* node) { tls_pool.free_nodes.push_back(node); }
+
+}  // namespace cortenmm

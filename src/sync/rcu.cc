@@ -1,0 +1,121 @@
+#include "src/sync/rcu.h"
+
+#include <cassert>
+
+#include "src/common/backoff.h"
+#include "src/common/stats.h"
+
+namespace cortenmm {
+namespace {
+
+thread_local int tls_read_depth = 0;
+
+}  // namespace
+
+Rcu& Rcu::Instance() {
+  static Rcu rcu;
+  return rcu;
+}
+
+void Rcu::ReadLock() {
+  if (tls_read_depth++ == 0) {
+    uint64_t e = epoch_.load(std::memory_order_acquire);
+    reader_epoch_[CurrentCpu()].value.store(e, std::memory_order_seq_cst);
+    // Re-read the epoch: if it moved while we were publishing, republish the
+    // newer value so Synchronize() never waits on us spuriously... the stale
+    // (smaller) value is the conservative one, so keeping it is also correct.
+  }
+}
+
+void Rcu::ReadUnlock() {
+  assert(tls_read_depth > 0);
+  if (--tls_read_depth == 0) {
+    reader_epoch_[CurrentCpu()].value.store(kInactive, std::memory_order_release);
+  }
+}
+
+bool Rcu::InReadSection() const { return tls_read_depth > 0; }
+
+uint64_t Rcu::MinActiveEpoch() const {
+  uint64_t min_epoch = ~0ull;
+  int n = OnlineCpuCount();
+  for (int cpu = 0; cpu < n && cpu < kMaxCpus; ++cpu) {
+    uint64_t e = reader_epoch_[cpu].value.load(std::memory_order_seq_cst);
+    if (e != kInactive && e < min_epoch) {
+      min_epoch = e;
+    }
+  }
+  return min_epoch;
+}
+
+void Rcu::Synchronize() {
+  uint64_t target = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  SpinBackoff backoff;
+  while (MinActiveEpoch() < target) {
+    backoff.Spin();
+  }
+}
+
+void Rcu::Retire(void* obj, void (*deleter)(void*)) {
+  int cpu = CurrentCpu();
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  bool drain = false;
+  {
+    RetireList& list = retired_[cpu].value;
+    SpinGuard guard(list.lock);
+    list.items.push_back(Retired{obj, deleter, e});
+    drain = list.items.size() >= kDrainThreshold;
+  }
+  CountEvent(Counter::kRcuRetired);
+  if (drain) {
+    // Advance the epoch so the just-retired batch can eventually clear.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    DrainCpu(cpu, MinActiveEpoch());
+  }
+}
+
+void Rcu::DrainCpu(int cpu, uint64_t min_active) {
+  std::vector<Retired> ready;
+  {
+    RetireList& list = retired_[cpu].value;
+    SpinGuard guard(list.lock);
+    size_t keep = 0;
+    for (size_t i = 0; i < list.items.size(); ++i) {
+      // Safe once every active reader started strictly after the retirement
+      // epoch: such readers can no longer reach the unlinked object.
+      if (list.items[i].epoch < min_active) {
+        ready.push_back(list.items[i]);
+      } else {
+        list.items[keep++] = list.items[i];
+      }
+    }
+    list.items.resize(keep);
+  }
+  for (const Retired& r : ready) {
+    r.deleter(r.obj);
+    CountEvent(Counter::kRcuFreed);
+  }
+}
+
+void Rcu::DrainAll() {
+  // One full grace period makes everything retired before this call ready.
+  Synchronize();
+  uint64_t min_active = MinActiveEpoch();
+  int n = OnlineCpuCount();
+  for (int cpu = 0; cpu < n && cpu < kMaxCpus; ++cpu) {
+    DrainCpu(cpu, min_active);
+  }
+}
+
+size_t Rcu::PendingCount() {
+  size_t total = 0;
+  int n = OnlineCpuCount();
+  for (int cpu = 0; cpu < n && cpu < kMaxCpus; ++cpu) {
+    RetireList& list = retired_[cpu].value;
+    SpinGuard guard(list.lock);
+    total += list.items.size();
+  }
+  return total;
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,45 @@
+// Sequence counter for optimistic read validation. The Linux-baseline MM uses
+// this to reproduce per-VMA speculative page-fault handling (vm_lock_seq in
+// the paper's Figure 2).
+#ifndef SRC_SYNC_SEQLOCK_H_
+#define SRC_SYNC_SEQLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cortenmm {
+
+class SeqCount {
+ public:
+  // Reader side: snapshot before reading protected fields.
+  uint32_t ReadBegin() const {
+    uint32_t seq;
+    do {
+      seq = seq_.load(std::memory_order_acquire);
+    } while (seq & 1);  // A writer is in progress; wait it out via caller retry.
+    return seq;
+  }
+
+  // Returns true if the read section observed a consistent snapshot.
+  bool ReadValidate(uint32_t snapshot) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == snapshot;
+  }
+
+  // Fast check whether the sequence advanced past a snapshot (writer seen).
+  bool ChangedSince(uint32_t snapshot) const {
+    return seq_.load(std::memory_order_acquire) != snapshot;
+  }
+
+  void WriteBegin() { seq_.fetch_add(1, std::memory_order_acq_rel); }
+  void WriteEnd() { seq_.fetch_add(1, std::memory_order_acq_rel); }
+
+  uint32_t raw() const { return seq_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint32_t> seq_{0};
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_SYNC_SEQLOCK_H_

@@ -1,0 +1,168 @@
+#include "src/tlb/shootdown.h"
+
+#include <cassert>
+
+#include "src/common/stats.h"
+
+namespace cortenmm {
+
+const char* TlbPolicyName(TlbPolicy policy) {
+  switch (policy) {
+    case TlbPolicy::kSync:
+      return "sync";
+    case TlbPolicy::kEarlyAck:
+      return "early-ack";
+    case TlbPolicy::kLatr:
+      return "latr";
+  }
+  return "unknown";
+}
+
+std::vector<CpuId> CpuMask::ToVector() const {
+  std::vector<CpuId> cpus;
+  for (int word = 0; word < kMaxCpus / 64; ++word) {
+    uint64_t bits = words_[word].load(std::memory_order_acquire);
+    while (bits != 0) {
+      int bit = __builtin_ctzll(bits);
+      cpus.push_back(word * 64 + bit);
+      bits &= bits - 1;
+    }
+  }
+  return cpus;
+}
+
+TlbSystem& TlbSystem::Instance() {
+  static TlbSystem system;
+  return system;
+}
+
+bool TlbSystem::LatrEntry::TryAck(CpuId cpu) {
+  uint64_t bit = 1ull << (cpu % 64);
+  uint64_t prev = acked_mask[cpu / 64].fetch_or(bit, std::memory_order_acq_rel);
+  if (prev & bit) {
+    return false;  // Already acknowledged.
+  }
+  return remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;  // Last ack?
+}
+
+void TlbSystem::FinishEntry(LatrEntry* entry) {
+  if (entry->freer != nullptr) {
+    for (Pfn pfn : entry->frames) {
+      entry->freer(pfn);
+    }
+  }
+  pending_latr_.fetch_sub(1, std::memory_order_relaxed);
+  delete entry;
+}
+
+void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPolicy policy,
+                          std::vector<Pfn> frames, FrameFreer freer) {
+  CountEvent(Counter::kTlbShootdowns);
+  CpuId self = CurrentCpu();
+  std::vector<CpuId> targets = mask.ToVector();
+
+  if (policy == TlbPolicy::kLatr) {
+    // Flush locally now; defer remote flushes and frame reclamation.
+    CpuTlb(self).InvalidateRange(asid, range);
+    std::vector<CpuId> remote;
+    for (CpuId cpu : targets) {
+      if (cpu != self) {
+        remote.push_back(cpu);
+      }
+    }
+    if (remote.empty()) {
+      if (freer != nullptr) {
+        for (Pfn pfn : frames) {
+          freer(pfn);
+        }
+      }
+      return;
+    }
+    auto* entry = new LatrEntry;
+    entry->asid = asid;
+    entry->range = range;
+    entry->frames = std::move(frames);
+    entry->freer = freer;
+    entry->targets = std::move(remote);
+    entry->remaining.store(static_cast<uint32_t>(entry->targets.size()),
+                           std::memory_order_relaxed);
+    pending_latr_.fetch_add(1, std::memory_order_relaxed);
+    LatrBuffer& buffer = latr_[self].value;
+    SpinGuard guard(buffer.lock);
+    buffer.entries.push_back(entry);
+    return;
+  }
+
+  // Synchronous variants: the initiator invalidates every target inline.
+  // kSync models the serial IPI round-trip protocol: one target at a time,
+  // with the "wait for ack" expressed by completing each invalidation before
+  // starting the next. kEarlyAck issues all invalidations in one sweep (the
+  // remote flush work overlaps; the initiator does not serialize on acks).
+  if (policy == TlbPolicy::kSync) {
+    for (CpuId cpu : targets) {
+      CpuTlb(cpu).InvalidateRange(asid, range);
+      // Serial ack round trip: a full acquire/release per target is already
+      // enforced by the per-TLB lock; nothing further to model.
+    }
+  } else {  // kEarlyAck
+    for (CpuId cpu : targets) {
+      CpuTlb(cpu).InvalidateRange(asid, range);
+    }
+  }
+  if (!mask.Test(self)) {
+    CpuTlb(self).InvalidateRange(asid, range);
+  }
+  if (freer != nullptr) {
+    for (Pfn pfn : frames) {
+      freer(pfn);
+    }
+  }
+}
+
+void TlbSystem::Tick(CpuId cpu) {
+  // Scan every CPU's lazy buffer for entries addressed to |cpu| (LATR: "each
+  // CPU checks other CPUs' buffers and flushes the relevant TLB entries").
+  int limit = OnlineCpuCount();
+  for (int origin = 0; origin < limit && origin < kMaxCpus; ++origin) {
+    LatrBuffer& buffer = latr_[origin].value;
+    std::vector<LatrEntry*> finished;
+    {
+      SpinGuard guard(buffer.lock);
+      size_t keep = 0;
+      for (size_t i = 0; i < buffer.entries.size(); ++i) {
+        LatrEntry* entry = buffer.entries[i];
+        bool is_target = false;
+        for (CpuId t : entry->targets) {
+          if (t == cpu) {
+            is_target = true;
+            break;
+          }
+        }
+        bool done = false;
+        if (is_target) {
+          CpuTlb(cpu).InvalidateRange(entry->asid, entry->range);
+          CountEvent(Counter::kTlbLazyFlushes);
+          done = entry->TryAck(cpu);
+        }
+        if (done) {
+          finished.push_back(entry);
+        } else {
+          buffer.entries[keep++] = entry;
+        }
+      }
+      buffer.entries.resize(keep);
+    }
+    for (LatrEntry* entry : finished) {
+      FinishEntry(entry);
+    }
+  }
+}
+
+void TlbSystem::DrainAll() {
+  int limit = OnlineCpuCount();
+  for (int cpu = 0; cpu < limit && cpu < kMaxCpus; ++cpu) {
+    Tick(cpu);
+  }
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,110 @@
+// TLB shootdown engine with the three strategies the paper discusses (§4.5):
+//
+//  kSync      — the initiator invalidates each active CPU's TLB one after the
+//               other and only then frees the unmapped frames (the classic
+//               IPI-and-wait protocol).
+//  kEarlyAck  — concurrent flush with early acknowledgement [Amit et al.,
+//               EuroSys'20]: invalidations of all targets proceed without
+//               per-target round trips; frames are freed as soon as all
+//               invalidations are issued.
+//  kLatr      — lazy shootdown [LATR, ASPLOS'18]: the initiator pushes the
+//               (range, frames, target CPUs) record into its per-CPU buffer
+//               and returns immediately; each target flushes its own TLB at
+//               its next tick (timer interrupt / reschedule analog), and the
+//               frames are reclaimed only after the last target acknowledges.
+//
+// Correctness note mirrored from LATR: until a lazy entry is fully
+// acknowledged, its frames are not returned to the allocator, so a stale TLB
+// translation can only reach memory that still holds the old (dead) data.
+#ifndef SRC_TLB_SHOOTDOWN_H_
+#define SRC_TLB_SHOOTDOWN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cpu.h"
+#include "src/common/types.h"
+#include "src/sync/spinlock.h"
+#include "src/tlb/tlb.h"
+
+namespace cortenmm {
+
+enum class TlbPolicy {
+  kSync,
+  kEarlyAck,
+  kLatr,
+};
+
+const char* TlbPolicyName(TlbPolicy policy);
+
+// A fixed-width CPU set. kMaxCpus bits.
+class CpuMask {
+ public:
+  void Set(CpuId cpu) {
+    words_[cpu / 64].fetch_or(1ull << (cpu % 64), std::memory_order_acq_rel);
+  }
+  bool Test(CpuId cpu) const {
+    return words_[cpu / 64].load(std::memory_order_acquire) & (1ull << (cpu % 64));
+  }
+  // Snapshot of all set CPU ids, bounded by the online count.
+  std::vector<CpuId> ToVector() const;
+
+ private:
+  std::atomic<uint64_t> words_[kMaxCpus / 64] = {};
+};
+
+using FrameFreer = void (*)(Pfn);
+
+class TlbSystem {
+ public:
+  static TlbSystem& Instance();
+
+  Tlb& CpuTlb(CpuId cpu) { return tlbs_[cpu].value; }
+
+  // Invalidates |range| of |asid| on every CPU in |mask| according to
+  // |policy|, then disposes of |frames| via |freer| (possibly deferred).
+  // |frames| may be empty (e.g. mprotect).
+  void Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPolicy policy,
+                 std::vector<Pfn> frames, FrameFreer freer);
+
+  // The target-side pump: drains lazy shootdown entries addressed to |cpu|.
+  // The simulated MMU calls this periodically (timer-tick analog).
+  void Tick(CpuId cpu);
+
+  // Drains every pending lazy entry on all CPUs (benchmark phase boundaries,
+  // address-space teardown).
+  void DrainAll();
+
+  uint64_t pending_latr_entries() const {
+    return pending_latr_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct LatrEntry {
+    Asid asid;
+    VaRange range;
+    std::vector<Pfn> frames;
+    FrameFreer freer;
+    std::vector<CpuId> targets;
+    std::atomic<uint32_t> remaining{0};
+    std::atomic<uint64_t> acked_mask[kMaxCpus / 64] = {};
+
+    bool TryAck(CpuId cpu);
+  };
+
+  struct LatrBuffer {
+    SpinLock lock;
+    std::vector<LatrEntry*> entries;
+  };
+
+  void FinishEntry(LatrEntry* entry);
+
+  CacheAligned<Tlb> tlbs_[kMaxCpus];
+  CacheAligned<LatrBuffer> latr_[kMaxCpus];
+  std::atomic<uint64_t> pending_latr_{0};
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_TLB_SHOOTDOWN_H_

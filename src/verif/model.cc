@@ -1,0 +1,118 @@
+#include "src/verif/model.h"
+
+#include <chrono>
+#include <unordered_set>
+
+namespace cortenmm {
+namespace {
+
+uint64_t HashState(const ModelState& state) {
+  // FNV-1a 64-bit.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : state) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string Describe(const ModelState& state) {
+  std::string out = "[";
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (i != 0) {
+      out += ' ';
+    }
+    out += std::to_string(static_cast<int>(state[i]));
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+ModelCheckResult ModelChecker::Run(const Model& model, uint64_t max_states) {
+  auto start = std::chrono::steady_clock::now();
+  ModelCheckResult result;
+
+  // Visited set stores full states bucketed by hash (collision-safe).
+  std::unordered_set<uint64_t> visited_hashes;
+  std::vector<ModelState> collision_pool;
+
+  struct Frame {
+    ModelState state;
+    int depth;
+  };
+  std::vector<Frame> stack;
+
+  auto visit = [&](const ModelState& state) -> bool {
+    uint64_t h = HashState(state);
+    if (visited_hashes.insert(h).second) {
+      return true;  // Fresh hash: definitely unvisited.
+    }
+    // Hash seen before: fall back to exact containment via the pool.
+    for (const ModelState& seen : collision_pool) {
+      if (seen == state) {
+        return false;
+      }
+    }
+    collision_pool.push_back(state);
+    return true;
+  };
+
+  ModelState initial = model.Initial();
+  visit(initial);
+  stack.push_back(Frame{std::move(initial), 0});
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    ++result.states_explored;
+    if (frame.depth > result.max_depth) {
+      result.max_depth = frame.depth;
+    }
+
+    std::string violation;
+    if (!model.CheckInvariants(frame.state, &violation)) {
+      result.violation = violation + " in state " + Describe(frame.state);
+      result.ok = false;
+      result.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      return result;
+    }
+
+    if (max_states != 0 && result.states_explored > max_states) {
+      result.violation = "state-space bound exceeded (increase max_states)";
+      result.ok = false;
+      result.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      return result;
+    }
+
+    std::vector<ModelState> next = model.Successors(frame.state);
+    if (next.empty()) {
+      if (model.IsFinal(frame.state)) {
+        ++result.final_states;
+      } else {
+        result.deadlock_state = Describe(frame.state);
+        result.ok = false;
+        result.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return result;
+      }
+      continue;
+    }
+    for (ModelState& successor : next) {
+      ++result.transitions;
+      if (visit(successor)) {
+        stack.push_back(Frame{std::move(successor), frame.depth + 1});
+      }
+    }
+  }
+
+  result.ok = true;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,412 @@
+#include "src/verif/tree_model.h"
+
+#include <cassert>
+
+namespace cortenmm {
+
+// ---------------------------------------------------------------------------
+// ModelTree
+// ---------------------------------------------------------------------------
+
+std::vector<int> ModelTree::AncestorsTopDown(int node) const {
+  std::vector<int> up;
+  while (node != 0) {
+    node = Parent(node);
+    up.push_back(node);
+  }
+  return std::vector<int>(up.rbegin(), up.rend());
+}
+
+std::vector<int> ModelTree::DescendantsPreorder(int node) const {
+  std::vector<int> result;
+  std::vector<int> dfs;
+  if (!IsLeaf(node)) {
+    dfs.push_back(LeftChild(node) + 1);
+    dfs.push_back(LeftChild(node));
+  }
+  while (!dfs.empty()) {
+    int cur = dfs.back();
+    dfs.pop_back();
+    result.push_back(cur);
+    if (!IsLeaf(cur)) {
+      dfs.push_back(LeftChild(cur) + 1);
+      dfs.push_back(LeftChild(cur));
+    }
+  }
+  return result;
+}
+
+std::vector<int> ModelTree::DescendantsPostorder(int node) const {
+  std::vector<int> pre = DescendantsPreorder(node);
+  // For subtree removal semantics, children-before-parents suffices; the
+  // reverse preorder visits every child before its parent.
+  return std::vector<int>(pre.rbegin(), pre.rend());
+}
+
+// ---------------------------------------------------------------------------
+// RwProtocolModel
+// ---------------------------------------------------------------------------
+
+RwProtocolModel::RwProtocolModel(int tree_depth, std::vector<ThreadSpec> threads)
+    : tree_{tree_depth}, threads_(std::move(threads)) {
+  for (const ThreadSpec& spec : threads_) {
+    assert(spec.target >= 0 && spec.target < tree_.NodeCount());
+    paths_.push_back(tree_.AncestorsTopDown(spec.target));
+  }
+}
+
+// Layout: nodes * 2 bytes (readers, writer-owner), then 1 pc byte per thread.
+int RwProtocolModel::ReadersAt(const ModelState& s, int page) const { return s[page * 2]; }
+int RwProtocolModel::WriterAt(const ModelState& s, int page) const { return s[page * 2 + 1]; }
+
+ModelState RwProtocolModel::Initial() const {
+  return ModelState(tree_.NodeCount() * 2 + threads_.size(), 0);
+}
+
+std::vector<ModelState> RwProtocolModel::Successors(const ModelState& state) const {
+  std::vector<ModelState> next;
+  int pc_base = tree_.NodeCount() * 2;
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    int pc = state[pc_base + t];
+    const std::vector<int>& path = paths_[t];
+    int path_len = static_cast<int>(path.size());
+    int target = threads_[t].target;
+    int done_pc = 2 * path_len + 3;
+    if (pc >= done_pc) {
+      continue;
+    }
+    ModelState s = state;
+    if (pc < path_len) {
+      // Acquire the read lock on ancestor path[pc] (blocked while a writer
+      // holds it).
+      int page = path[pc];
+      if (WriterAt(state, page) != 0) {
+        continue;
+      }
+      ++s[page * 2];
+    } else if (pc == path_len) {
+      // Acquire the write lock on the covering page.
+      if (ReadersAt(state, target) != 0 || WriterAt(state, target) != 0) {
+        continue;
+      }
+      s[target * 2 + 1] = static_cast<uint8_t>(t + 1);
+    } else if (pc == path_len + 1) {
+      // Critical-section step: the transaction's basic operations.
+    } else if (pc == path_len + 2) {
+      // Release the write lock.
+      s[target * 2 + 1] = 0;
+    } else {
+      // Release read locks in reverse acquisition order.
+      int j = pc - (path_len + 3);
+      int page = path[path_len - 1 - j];
+      --s[page * 2];
+    }
+    s[pc_base + t] = static_cast<uint8_t>(pc + 1);
+    next.push_back(std::move(s));
+  }
+  return next;
+}
+
+bool RwProtocolModel::CheckInvariants(const ModelState& state, std::string* violation) const {
+  int pc_base = tree_.NodeCount() * 2;
+  // INV1: a write-locked page has no readers; writer ids are sane.
+  for (int page = 0; page < tree_.NodeCount(); ++page) {
+    if (WriterAt(state, page) != 0 && ReadersAt(state, page) != 0) {
+      *violation = "INV1: page " + std::to_string(page) + " write-locked with readers";
+      return false;
+    }
+  }
+  // Collect per-thread held read locks and write lock from pc.
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    int pc_t = state[pc_base + t];
+    int len_t = static_cast<int>(paths_[t].size());
+    bool t_writes = pc_t > len_t && pc_t <= len_t + 2;
+    if (!t_writes) {
+      continue;
+    }
+    int target_t = threads_[t].target;
+    for (size_t u = 0; u < threads_.size(); ++u) {
+      if (u == t) {
+        continue;
+      }
+      int pc_u = state[pc_base + u];
+      int len_u = static_cast<int>(paths_[u].size());
+      // INV2: no two write-locked covering pages in ancestor/descendant/equal.
+      bool u_writes = pc_u > len_u && pc_u <= len_u + 2;
+      if (u_writes) {
+        int target_u = threads_[u].target;
+        if (tree_.IsAncestorOrSelf(target_t, target_u) ||
+            tree_.IsAncestorOrSelf(target_u, target_t)) {
+          *violation = "INV2: overlapping write locks on " + std::to_string(target_t) +
+                       " and " + std::to_string(target_u);
+          return false;
+        }
+      }
+      // INV3: no lock of u strictly inside t's write-locked subtree.
+      // Held read locks of u: path_u[0 .. r) where r depends on pc.
+      int held_reads;
+      if (pc_u <= len_u) {
+        held_reads = pc_u;
+      } else if (pc_u <= len_u + 3) {
+        held_reads = len_u;  // All of them (CS / releasing write).
+      } else {
+        held_reads = len_u - (pc_u - (len_u + 3));  // Releasing.
+      }
+      for (int i = 0; i < held_reads; ++i) {
+        int page = paths_[u][i];
+        if (page != target_t && tree_.IsAncestorOrSelf(target_t, page)) {
+          *violation = "INV3: thread holds a lock inside another CS subtree";
+          return false;
+        }
+      }
+      bool u_holds_write = pc_u > len_u && pc_u <= len_u + 2;
+      if (u_holds_write) {
+        int target_u = threads_[u].target;
+        if (target_u != target_t && tree_.IsAncestorOrSelf(target_t, target_u)) {
+          *violation = "INV3: write lock inside another CS subtree";
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool RwProtocolModel::IsFinal(const ModelState& state) const {
+  int pc_base = tree_.NodeCount() * 2;
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    if (state[pc_base + t] < 2 * paths_[t].size() + 3) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AdvProtocolModel
+// ---------------------------------------------------------------------------
+
+AdvProtocolModel::AdvProtocolModel(int tree_depth, std::vector<ThreadSpec> threads)
+    : tree_{tree_depth}, threads_(std::move(threads)) {
+  assert(tree_.NodeCount() <= 15);  // Held bitmask is 16 bits.
+  for (const ThreadSpec& spec : threads_) {
+    assert(spec.target >= 0 && spec.target < tree_.NodeCount());
+    if (spec.remove_child >= 0) {
+      assert(spec.remove_child != spec.target &&
+             tree_.IsAncestorOrSelf(spec.target, spec.remove_child));
+    }
+  }
+}
+
+void AdvProtocolModel::SetHold(ModelState& s, int thread, int page, bool held) const {
+  uint16_t mask = static_cast<uint16_t>(s[ThreadBase(thread) + 2] |
+                                        (s[ThreadBase(thread) + 3] << 8));
+  if (held) {
+    mask = static_cast<uint16_t>(mask | (1u << page));
+  } else {
+    mask = static_cast<uint16_t>(mask & ~(1u << page));
+  }
+  s[ThreadBase(thread) + 2] = static_cast<uint8_t>(mask & 0xff);
+  s[ThreadBase(thread) + 3] = static_cast<uint8_t>(mask >> 8);
+}
+
+int AdvProtocolModel::CoveringOf(const ModelState& s, int target) const {
+  // Deepest present page on the root -> target path (the lock-free traversal
+  // result; root is never removed).
+  int covering = 0;
+  for (int page : tree_.AncestorsTopDown(target)) {
+    if (!Present(s, page)) {
+      return covering;
+    }
+    covering = page;
+  }
+  if (Present(s, target)) {
+    covering = target;
+  }
+  return covering;
+}
+
+ModelState AdvProtocolModel::Initial() const {
+  ModelState s(tree_.NodeCount() * 2 + threads_.size() * 5, 0);
+  for (int page = 0; page < tree_.NodeCount(); ++page) {
+    s[PageBase(page) + 1] = 1;  // present, not stale
+  }
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    s[ThreadBase(t)] = kTraverse;
+  }
+  return s;
+}
+
+std::vector<ModelState> AdvProtocolModel::Successors(const ModelState& state) const {
+  std::vector<ModelState> next;
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    int base = ThreadBase(t);
+    Phase phase = static_cast<Phase>(state[base]);
+    int candidate = state[base + 1];
+    ModelState s = state;
+    switch (phase) {
+      case kTraverse: {
+        // Lock-free RCU traversal: read the covering page of the target.
+        s[base + 1] = static_cast<uint8_t>(CoveringOf(state, threads_[t].target));
+        s[base] = kLockCandidate;
+        break;
+      }
+      case kLockCandidate: {
+        if (Owner(state, candidate) != 0) {
+          continue;  // Mutex held elsewhere; blocked.
+        }
+        s[PageBase(candidate)] = static_cast<uint8_t>(t + 1);
+        SetHold(s, t, candidate, true);
+        s[base] = kStaleCheck;
+        break;
+      }
+      case kStaleCheck: {
+        if (Stale(state, candidate)) {
+          // Raced with an unmap: release and retry (Figure 6 L10-13).
+          s[PageBase(candidate)] = 0;
+          SetHold(s, t, candidate, false);
+          s[base] = kTraverse;
+        } else {
+          s[base] = kDfs;
+        }
+        break;
+      }
+      case kDfs: {
+        // Lock the next present, not-yet-held descendant in preorder.
+        int next_page = -1;
+        for (int page : tree_.DescendantsPreorder(candidate)) {
+          if (Present(state, page) && !Holds(state, t, page)) {
+            next_page = page;
+            break;
+          }
+        }
+        if (next_page < 0) {
+          s[base] = kCs;
+          break;
+        }
+        if (Owner(state, next_page) != 0) {
+          continue;  // Blocked on a descendant's mutex.
+        }
+        s[PageBase(next_page)] = static_cast<uint8_t>(t + 1);
+        SetHold(s, t, next_page, true);
+        break;
+      }
+      case kCs: {
+        // The transaction's basic operations happen here, atomically.
+        s[base] = threads_[t].remove_child >= 0 ? kRemoving : kReleasing;
+        break;
+      }
+      case kRemoving: {
+        // Unmap the designated subtree: children before parents; for each
+        // page: mark stale, unlink, unlock (retire-to-RCU is implicit — the
+        // page's lock word survives, which is what the stale check relies on).
+        int victim = -1;
+        std::vector<int> order = tree_.DescendantsPostorder(threads_[t].remove_child);
+        order.push_back(threads_[t].remove_child);
+        for (int page : order) {
+          if (Present(state, page)) {
+            victim = page;
+            break;
+          }
+        }
+        if (victim < 0) {
+          s[base] = kReleasing;
+          break;
+        }
+        s[PageBase(victim) + 1] = 2;  // stale, not present
+        s[PageBase(victim)] = 0;      // unlock
+        SetHold(s, t, victim, false);
+        break;
+      }
+      case kReleasing: {
+        // Release children before the covering page.
+        int victim = -1;
+        for (int page : tree_.DescendantsPostorder(candidate)) {
+          if (Holds(state, t, page)) {
+            victim = page;
+            break;
+          }
+        }
+        if (victim < 0 && Holds(state, t, candidate)) {
+          victim = candidate;
+        }
+        if (victim < 0) {
+          s[base] = kDone;
+          break;
+        }
+        s[PageBase(victim)] = 0;
+        SetHold(s, t, victim, false);
+        break;
+      }
+      case kDone:
+        continue;
+    }
+    next.push_back(std::move(s));
+  }
+  return next;
+}
+
+bool AdvProtocolModel::CheckInvariants(const ModelState& state,
+                                       std::string* violation) const {
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    Phase phase = static_cast<Phase>(state[ThreadBase(t)]);
+    if (phase != kCs && phase != kRemoving) {
+      continue;
+    }
+    int covering = state[ThreadBase(t) + 1];
+    // INV4: the critical section never runs on a stale/unlinked covering page.
+    if (Stale(state, covering) || !Present(state, covering)) {
+      *violation = "INV4: critical section on stale covering page " +
+                   std::to_string(covering);
+      return false;
+    }
+    for (size_t u = 0; u < threads_.size(); ++u) {
+      if (u == t) {
+        continue;
+      }
+      Phase phase_u = static_cast<Phase>(state[ThreadBase(u)]);
+      // INV2: two critical sections never overlap in the tree.
+      if (phase_u == kCs || phase_u == kRemoving) {
+        int covering_u = state[ThreadBase(u) + 1];
+        if (tree_.IsAncestorOrSelf(covering, covering_u) ||
+            tree_.IsAncestorOrSelf(covering_u, covering)) {
+          *violation = "INV2: overlapping critical sections on " +
+                       std::to_string(covering) + " and " + std::to_string(covering_u);
+          return false;
+        }
+      }
+      // INV3: no other thread holds a *present* page inside our subtree.
+      for (int page = 0; page < tree_.NodeCount(); ++page) {
+        if (Holds(state, u, page) && Present(state, page) &&
+            tree_.IsAncestorOrSelf(covering, page)) {
+          *violation = "INV3: thread holds present page " + std::to_string(page) +
+                       " inside an active CS subtree";
+          return false;
+        }
+      }
+    }
+  }
+  // INV1: owners and holds agree.
+  for (int page = 0; page < tree_.NodeCount(); ++page) {
+    int owner = Owner(state, page);
+    for (size_t t = 0; t < threads_.size(); ++t) {
+      bool holds = Holds(state, t, page);
+      if (holds && owner != static_cast<int>(t + 1)) {
+        *violation = "INV1: hold/ownership mismatch on page " + std::to_string(page);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool AdvProtocolModel::IsFinal(const ModelState& state) const {
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    if (static_cast<Phase>(state[ThreadBase(t)]) != kDone) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,154 @@
+// Bounded-instance state machines for the two locking protocols — the models
+// the checker explores, mirroring the paper's Atomic Tree Spec (§5.1):
+//
+//   * the page table is a complete binary tree of PT pages;
+//   * each core runs a transaction targeting one PT page (its covering page);
+//   * CortenMM_rw: hand-over-hand read locks on the ancestors, a write lock
+//     on the covering page, a critical-section step, reverse release;
+//   * CortenMM_adv: a lock-free "traverse" step records the covering
+//     candidate, an MCS-style mutex acquires it, the stale check retries,
+//     a preorder DFS locks every present descendant, the critical section
+//     optionally *removes* a subtree (stale + unlink, as in unmap), reverse
+//     release.
+//
+// Invariants checked in every reachable state (paper P1 / Figure 11):
+//   INV1 (lock soundness)  — a write-locked page has no readers; one writer.
+//   INV2 (non-overlap)     — two write-locked covering pages are never in an
+//                            ancestor-descendant (or equal) relation.
+//   INV3 (mutual exclusion)— while a core is in its critical section on
+//                            covering page C, no other core holds any lock
+//                            inside C's subtree.
+//   INV4 (stale safety)    — no core is ever in its critical section on a
+//                            stale or unlinked covering page (Figure 7 race).
+// Deadlock freedom is checked by the explorer itself (every non-final state
+// must have a successor).
+#ifndef SRC_VERIF_TREE_MODEL_H_
+#define SRC_VERIF_TREE_MODEL_H_
+
+#include <vector>
+
+#include "src/verif/model.h"
+
+namespace cortenmm {
+
+// Complete binary tree helpers; node 0 is the root.
+struct ModelTree {
+  int depth;  // Number of levels; total nodes = 2^depth - 1.
+
+  int NodeCount() const { return (1 << depth) - 1; }
+  static int Parent(int node) { return (node - 1) / 2; }
+  static int LeftChild(int node) { return 2 * node + 1; }
+  bool IsLeaf(int node) const { return LeftChild(node) >= NodeCount(); }
+  bool IsAncestorOrSelf(int a, int b) const {  // a ancestor-or-self of b?
+    while (b >= 0) {
+      if (a == b) {
+        return true;
+      }
+      if (b == 0) {
+        break;
+      }
+      b = Parent(b);
+    }
+    return false;
+  }
+  // Ancestors of |node| from the root down, excluding |node| itself.
+  std::vector<int> AncestorsTopDown(int node) const;
+  // Preorder walk of the subtree rooted at |node|, excluding |node|.
+  std::vector<int> DescendantsPreorder(int node) const;
+  // Post-order walk (children first), excluding |node|.
+  std::vector<int> DescendantsPostorder(int node) const;
+};
+
+// --- CortenMM_rw model -------------------------------------------------------
+
+class RwProtocolModel final : public Model {
+ public:
+  struct ThreadSpec {
+    int target;  // The covering page this transaction locks.
+  };
+
+  RwProtocolModel(int tree_depth, std::vector<ThreadSpec> threads);
+
+  const char* name() const override { return "cortenmm-rw locking protocol"; }
+  ModelState Initial() const override;
+  std::vector<ModelState> Successors(const ModelState& state) const override;
+  bool CheckInvariants(const ModelState& state, std::string* violation) const override;
+  bool IsFinal(const ModelState& state) const override;
+
+ private:
+  // State layout:
+  //   pages:   [readers(u8), writer(u8: 0=none, t+1=thread t)] x nodes
+  //   threads: [pc(u8)] x threads
+  // pc: 0..path-1 = read-locking ancestor i; path = write-locking target;
+  //     path+1 = in critical section;
+  //     path+2..2*path+2 = releasing (write first, then read locks in
+  //     reverse); 2*path+3.. => done  (encoded per-thread since path lengths
+  //     differ).
+  struct Layout;
+  int ReadersAt(const ModelState& s, int page) const;
+  int WriterAt(const ModelState& s, int page) const;
+
+  ModelTree tree_;
+  std::vector<ThreadSpec> threads_;
+  std::vector<std::vector<int>> paths_;  // Ancestors top-down per thread.
+};
+
+// --- CortenMM_adv model ------------------------------------------------------
+
+class AdvProtocolModel final : public Model {
+ public:
+  struct ThreadSpec {
+    int target;        // Covering page of the transaction.
+    int remove_child;  // -1, or a child subtree root to unmap inside the CS.
+  };
+
+  AdvProtocolModel(int tree_depth, std::vector<ThreadSpec> threads);
+
+  const char* name() const override { return "cortenmm-adv locking protocol"; }
+  ModelState Initial() const override;
+  std::vector<ModelState> Successors(const ModelState& state) const override;
+  bool CheckInvariants(const ModelState& state, std::string* violation) const override;
+  bool IsFinal(const ModelState& state) const override;
+
+ private:
+  // State layout:
+  //   pages:   [owner(u8: 0=none,t+1), flags(u8: bit0 present, bit1 stale)]
+  //            x nodes
+  //   threads: [phase(u8), candidate(u8), held bitmask (u16 LE), progress(u8)]
+  // phases: 0 traverse, 1 lock-candidate, 2 stale-check, 3 dfs, 4 cs,
+  //         5 removing (unmapper only), 6 releasing, 7 done.
+  enum Phase : uint8_t {
+    kTraverse = 0,
+    kLockCandidate,
+    kStaleCheck,
+    kDfs,
+    kCs,
+    kRemoving,
+    kReleasing,
+    kDone,
+  };
+
+  int PageBase(int page) const { return page * 2; }
+  int ThreadBase(int thread) const { return tree_.NodeCount() * 2 + thread * 5; }
+
+  bool Present(const ModelState& s, int page) const { return s[PageBase(page) + 1] & 1; }
+  bool Stale(const ModelState& s, int page) const { return s[PageBase(page) + 1] & 2; }
+  int Owner(const ModelState& s, int page) const { return s[PageBase(page)]; }
+  bool Holds(const ModelState& s, int thread, int page) const {
+    uint16_t mask = static_cast<uint16_t>(s[ThreadBase(thread) + 2] |
+                                          (s[ThreadBase(thread) + 3] << 8));
+    return (mask >> page) & 1;
+  }
+  void SetHold(ModelState& s, int thread, int page, bool held) const;
+
+  // The covering page for |target| in the current (possibly pruned) tree:
+  // the deepest present page on the root->target path.
+  int CoveringOf(const ModelState& s, int target) const;
+
+  ModelTree tree_;
+  std::vector<ThreadSpec> threads_;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_VERIF_TREE_MODEL_H_

@@ -1,0 +1,87 @@
+#include "src/verif/wf_checker.h"
+
+#include <string>
+
+#include "src/pmm/page_desc.h"
+#include "src/pmm/phys_mem.h"
+
+namespace cortenmm {
+namespace {
+
+void CheckPtPage(AddrSpace& space, Pfn page, int level, WfReport* report) {
+  PhysMem& mem = PhysMem::Instance();
+  PageTable& pt = space.page_table();
+  ++report->pt_pages;
+
+  PageDescriptor& desc = mem.Descriptor(page);
+  if (desc.type.load(std::memory_order_relaxed) != FrameType::kPageTable) {
+    report->Fail("PT page " + std::to_string(page) + " descriptor type is not kPageTable");
+    return;
+  }
+  if (desc.pt_level != level) {
+    report->Fail("PT page " + std::to_string(page) + " level mismatch: descriptor says " +
+                 std::to_string(desc.pt_level) + ", tree position says " +
+                 std::to_string(level));
+  }
+  if (desc.stale.load(std::memory_order_relaxed)) {
+    report->Fail("stale PT page " + std::to_string(page) + " still reachable");
+  }
+
+  PteMetaArray* meta = desc.meta.load(std::memory_order_acquire);
+  uint16_t present_count = 0;
+  for (uint64_t i = 0; i < kPtesPerPage; ++i) {
+    Pte pte = pt.LoadEntry(page, i);
+    bool present = PteIsPresent(pt.arch(), pte);
+    bool marked = meta != nullptr && !meta->entries[i].empty();
+    if (present) {
+      ++present_count;
+      // I2: a mark never coexists with a present PTE in the same slot.
+      if (marked) {
+        report->Fail("slot " + std::to_string(i) + " of PT page " + std::to_string(page) +
+                     " is both present and marked");
+      }
+      if (PteIsLeaf(pt.arch(), pte, level)) {
+        ++report->present_leaves;
+        Pfn frame = PtePfn(pt.arch(), pte);
+        uint64_t frames = PtEntrySpan(level) >> kPageBits;
+        if (!mem.ValidPfn(frame) || !mem.ValidPfn(frame + frames - 1)) {
+          report->Fail("leaf PTE points outside physical memory");
+        }
+      } else {
+        // Figure 12: "pte points to a valid page ... child level relation".
+        Pfn child = PtePfn(pt.arch(), pte);
+        if (!mem.ValidPfn(child)) {
+          report->Fail("table PTE points outside physical memory");
+          continue;
+        }
+        if (level <= 1) {
+          report->Fail("level-1 PTE claims to be a table pointer");
+          continue;
+        }
+        CheckPtPage(space, child, level - 1, report);
+      }
+    } else if (marked) {
+      ++report->meta_marks;
+      StatusTag tag = static_cast<StatusTag>(meta->entries[i].tag);
+      if (tag == StatusTag::kMapped) {
+        report->Fail("metadata mark encodes kMapped, which only the MMU may encode");
+      }
+    }
+  }
+  uint16_t counted = desc.present_ptes.load(std::memory_order_relaxed);
+  if (counted != present_count) {
+    report->Fail("present_ptes of PT page " + std::to_string(page) + " is " +
+                 std::to_string(counted) + " but " + std::to_string(present_count) +
+                 " slots are present");
+  }
+}
+
+}  // namespace
+
+WfReport CheckWellFormed(AddrSpace& space) {
+  WfReport report;
+  CheckPtPage(space, space.page_table().root(), kPtLevels, &report);
+  return report;
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,39 @@
+// Runtime page-table well-formedness checker — the executable rendering of
+// the paper's Figure 12 invariant (P2, §5.2): for any present PTE, it is
+// either a leaf or points to a valid PT page one level down; plus the
+// repository's additional structural invariants (descriptor levels agree,
+// metadata marks only occupy absent slots, present_ptes counts match, no
+// stale page is reachable).
+//
+// Property tests call this after every operation batch; it requires a
+// quiesced address space (or the caller holding a whole-space transaction).
+#ifndef SRC_VERIF_WF_CHECKER_H_
+#define SRC_VERIF_WF_CHECKER_H_
+
+#include <string>
+
+#include "src/core/addr_space.h"
+
+namespace cortenmm {
+
+struct WfReport {
+  bool ok = true;
+  std::string first_error;
+  uint64_t pt_pages = 0;
+  uint64_t present_leaves = 0;
+  uint64_t meta_marks = 0;
+
+  void Fail(const std::string& error) {
+    if (ok) {
+      ok = false;
+      first_error = error;
+    }
+  }
+};
+
+// Walks the entire page table of |space| and validates the invariants.
+WfReport CheckWellFormed(AddrSpace& space);
+
+}  // namespace cortenmm
+
+#endif  // SRC_VERIF_WF_CHECKER_H_

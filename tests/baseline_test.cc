@@ -1,0 +1,274 @@
+// Functional tests of the three baseline memory managers through the same
+// simulated MMU the benchmarks use, plus structural tests of the VMA tree.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/stats.h"
+
+#include "src/baseline/linux_mm.h"
+#include "src/baseline/nros_mm.h"
+#include "src/baseline/radixvm_mm.h"
+#include "src/baseline/vma_tree.h"
+#include "src/sim/mmu.h"
+
+namespace cortenmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared conformance suite over every baseline.
+// ---------------------------------------------------------------------------
+
+enum class Kind { kLinux, kRadix, kNros };
+
+std::unique_ptr<MmInterface> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kLinux:
+      return std::make_unique<LinuxVmaMm>();
+    case Kind::kRadix:
+      return std::make_unique<RadixVmMm>();
+    case Kind::kNros:
+      return std::make_unique<NrosMm>();
+  }
+  return nullptr;
+}
+
+class BaselineConformanceTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(BaselineConformanceTest, MmapTouchReadBack) {
+  auto mm = Make(GetParam());
+  Result<Vaddr> va = mm->MmapAnon(16 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(MmuSim::Write(*mm, *va + i * kPageSize, 100 + i).ok());
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint64_t value = 0;
+    ASSERT_TRUE(MmuSim::Read(*mm, *va + i * kPageSize, &value).ok());
+    EXPECT_EQ(value, 100u + i);
+  }
+}
+
+TEST_P(BaselineConformanceTest, MunmapFaults) {
+  auto mm = Make(GetParam());
+  Result<Vaddr> va = mm->MmapAnon(4 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::TouchRange(*mm, *va, 4 * kPageSize, true).ok());
+  ASSERT_TRUE(mm->Munmap(*va, 4 * kPageSize).ok());
+  uint64_t value;
+  EXPECT_EQ(MmuSim::Read(*mm, *va, &value).error(), ErrCode::kFault);
+}
+
+TEST_P(BaselineConformanceTest, MprotectDeniesWrites) {
+  auto mm = Make(GetParam());
+  Result<Vaddr> va = mm->MmapAnon(2 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::TouchRange(*mm, *va, 2 * kPageSize, true).ok());
+  ASSERT_TRUE(mm->Mprotect(*va, 2 * kPageSize, Perm::R()).ok());
+  EXPECT_EQ(MmuSim::Write(*mm, *va, 9).error(), ErrCode::kFault);
+  uint64_t value;
+  EXPECT_TRUE(MmuSim::Read(*mm, *va, &value).ok());
+}
+
+TEST_P(BaselineConformanceTest, UnmappedAddressFaults) {
+  auto mm = Make(GetParam());
+  uint64_t value;
+  EXPECT_EQ(MmuSim::Read(*mm, kUserVaBase + (1ull << 33), &value).error(),
+            ErrCode::kFault);
+}
+
+TEST_P(BaselineConformanceTest, ReuseAfterMunmap) {
+  auto mm = Make(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    Result<Vaddr> va = mm->MmapAnon(4 * kPageSize, Perm::RW());
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(MmuSim::Write(*mm, *va, round).ok());
+    ASSERT_TRUE(mm->Munmap(*va, 4 * kPageSize).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineConformanceTest,
+                         ::testing::Values(Kind::kLinux, Kind::kRadix, Kind::kNros),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           switch (info.param) {
+                             case Kind::kLinux:
+                               return "linux";
+                             case Kind::kRadix:
+                               return "radixvm";
+                             case Kind::kNros:
+                               return "nros";
+                           }
+                           return "unknown";
+                         });
+
+// ---------------------------------------------------------------------------
+// Linux-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(LinuxMmTest, VmaSplitOnPartialMunmap) {
+  LinuxVmaMm mm;
+  Result<Vaddr> va = mm.MmapAnon(8 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  size_t before = mm.VmaCount();
+  // Punch a hole in the middle: the VMA must split into two.
+  ASSERT_TRUE(mm.Munmap(*va + 2 * kPageSize, 2 * kPageSize).ok());
+  EXPECT_EQ(mm.VmaCount(), before + 1);
+  EXPECT_TRUE(mm.CheckVmaTree());
+  // Edges stay accessible, the hole faults.
+  ASSERT_TRUE(MmuSim::Write(mm, *va, 1).ok());
+  ASSERT_TRUE(MmuSim::Write(mm, *va + 6 * kPageSize, 1).ok());
+  uint64_t value;
+  EXPECT_EQ(MmuSim::Read(mm, *va + 2 * kPageSize, &value).error(), ErrCode::kFault);
+}
+
+TEST(LinuxMmTest, MprotectSplitsAndTreeStaysValid) {
+  LinuxVmaMm mm;
+  Result<Vaddr> va = mm.MmapAnon(16 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(mm.Mprotect(*va + 4 * kPageSize, 4 * kPageSize, Perm::R()).ok());
+  EXPECT_TRUE(mm.CheckVmaTree());
+  EXPECT_EQ(mm.VmaCount(), 3u);
+  EXPECT_EQ(MmuSim::Write(mm, *va + 4 * kPageSize, 1).error(), ErrCode::kFault);
+  EXPECT_TRUE(MmuSim::Write(mm, *va + 8 * kPageSize, 1).ok());
+}
+
+TEST(LinuxMmTest, ForkCopyOnWrite) {
+  LinuxVmaMm parent;
+  Result<Vaddr> va = parent.MmapAnon(2 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(parent, *va, 55).ok());
+  std::unique_ptr<LinuxVmaMm> child = parent.Fork();
+  uint64_t value = 0;
+  ASSERT_TRUE(MmuSim::Read(*child, *va, &value).ok());
+  EXPECT_EQ(value, 55u);
+  ASSERT_TRUE(MmuSim::Write(*child, *va, 66).ok());
+  ASSERT_TRUE(MmuSim::Read(parent, *va, &value).ok());
+  EXPECT_EQ(value, 55u);
+  ASSERT_TRUE(MmuSim::Read(*child, *va, &value).ok());
+  EXPECT_EQ(value, 66u);
+}
+
+// ---------------------------------------------------------------------------
+// RadixVM-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(RadixVmTest, PerCoreReplicasGetIndependentTables) {
+  RadixVmMm mm;
+  Result<Vaddr> va = mm.MmapAnon(4 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+
+  BindThisThreadToCpu(0);
+  ASSERT_TRUE(MmuSim::Write(mm, *va, 7).ok());
+  uint64_t pt_one_core = mm.PtBytes();
+
+  BindThisThreadToCpu(1);
+  uint64_t value = 0;
+  ASSERT_TRUE(MmuSim::Read(mm, *va, &value).ok());
+  EXPECT_EQ(value, 7u);
+  uint64_t pt_two_cores = mm.PtBytes();
+  // The second core faulted the page into its own replica: more PT bytes.
+  EXPECT_GT(pt_two_cores, pt_one_core);
+  BindThisThreadToCpu(0);
+}
+
+// ---------------------------------------------------------------------------
+// NrOS-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(NrosTest, EagerMappingNoDemandPaging) {
+  NrosMm mm;
+  EXPECT_FALSE(mm.demand_paging());
+  uint64_t faults_before = GlobalStats().Total(Counter::kPageFaults);
+  Result<Vaddr> va = mm.MmapAnon(4 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  BindThisThreadToCpu(0);
+  ASSERT_TRUE(MmuSim::TouchRange(mm, *va, 4 * kPageSize, true).ok());
+  // The mapping core sees no page fault: frames were mapped eagerly.
+  EXPECT_EQ(GlobalStats().Total(Counter::kPageFaults), faults_before);
+}
+
+TEST(NrosTest, LaggingReplicaCatchesUpOnFault) {
+  BindThisThreadToCpu(0);
+  NrosMm mm;
+  Result<Vaddr> va = mm.MmapAnon(kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(mm, *va, 31).ok());
+  // CPU 1 uses the other replica; its first read syncs it from the log.
+  BindThisThreadToCpu(1);
+  uint64_t value = 0;
+  ASSERT_TRUE(MmuSim::Read(mm, *va, &value).ok());
+  EXPECT_EQ(value, 31u);
+  BindThisThreadToCpu(0);
+}
+
+// ---------------------------------------------------------------------------
+// VMA tree structure
+// ---------------------------------------------------------------------------
+
+TEST(VmaTreeTest, InsertFindEraseManyStaysBalanced) {
+  VmaTree tree;
+  constexpr int kN = 512;
+  std::vector<Vma*> vmas;
+  for (int i = 0; i < kN; ++i) {
+    vmas.push_back(tree.Insert(i * 0x10000, i * 0x10000 + 0x8000, Perm::RW()));
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    Vma* hit = tree.Find(i * 0x10000 + 0x4000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit, vmas[i]);
+    EXPECT_EQ(tree.Find(i * 0x10000 + 0x9000), nullptr);  // In the gap.
+  }
+  // Erase every third node; structure must stay valid.
+  for (int i = 0; i < kN; i += 3) {
+    tree.Erase(vmas[i]);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int i = 0; i < kN; ++i) {
+    Vma* hit = tree.Find(i * 0x10000);
+    if (i % 3 == 0) {
+      EXPECT_EQ(hit, nullptr);
+    } else {
+      EXPECT_NE(hit, nullptr);
+    }
+  }
+}
+
+TEST(VmaTreeTest, SplitAndMerge) {
+  VmaTree tree;
+  Vma* vma = tree.Insert(0x100000, 0x200000, Perm::RW());
+  Vma* tail = tree.SplitAt(vma, 0x180000);
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(vma->end, 0x180000u);
+  EXPECT_EQ(tail->start, 0x180000u);
+  EXPECT_EQ(tail->end, 0x200000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(tree.TryMergeWithNext(vma));
+  EXPECT_EQ(vma->end, 0x200000u);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(VmaTreeTest, MergeRefusesDifferentPerms) {
+  VmaTree tree;
+  Vma* a = tree.Insert(0x100000, 0x180000, Perm::RW());
+  tree.Insert(0x180000, 0x200000, Perm::R());
+  EXPECT_FALSE(tree.TryMergeWithNext(a));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(VmaTreeTest, OverlapQueries) {
+  VmaTree tree;
+  tree.Insert(0x10000, 0x20000, Perm::RW());
+  tree.Insert(0x30000, 0x40000, Perm::RW());
+  tree.Insert(0x50000, 0x60000, Perm::RW());
+  int count = 0;
+  tree.ForEachOverlap(VaRange(0x18000, 0x52000), [&count](Vma*) { ++count; });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(tree.FindFirstOverlap(VaRange(0x20000, 0x30000)), nullptr);
+  EXPECT_NE(tree.FindFirstOverlap(VaRange(0x3f000, 0x41000)), nullptr);
+}
+
+}  // namespace
+}  // namespace cortenmm

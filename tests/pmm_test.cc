@@ -1,0 +1,227 @@
+// Tests for the physical memory manager: buddy allocator (split/coalesce,
+// exhaustion behaviour, per-CPU caches), slab allocator, page descriptors.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/pmm/buddy.h"
+#include "src/pmm/page_desc.h"
+#include "src/pmm/phys_mem.h"
+#include "src/pmm/slab.h"
+
+namespace cortenmm {
+namespace {
+
+TEST(PhysMemTest, FramesAreDistinctAndWritable) {
+  PhysMem& mem = PhysMem::Instance();
+  ASSERT_GT(mem.num_frames(), 1000u);
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  Result<Pfn> a = buddy.AllocFrame();
+  Result<Pfn> b = buddy.AllocFrame();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  std::memset(mem.FrameData(*a), 0xaa, kPageSize);
+  std::memset(mem.FrameData(*b), 0xbb, kPageSize);
+  EXPECT_EQ(static_cast<uint8_t>(*mem.FrameData(*a)), 0xaa);
+  EXPECT_EQ(static_cast<uint8_t>(*mem.FrameData(*b)), 0xbb);
+  buddy.FreeFrame(*a);
+  buddy.FreeFrame(*b);
+}
+
+TEST(PhysMemTest, ZeroAndCopyFrame) {
+  PhysMem& mem = PhysMem::Instance();
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  Result<Pfn> src = buddy.AllocFrame();
+  Result<Pfn> dst = buddy.AllocFrame();
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(dst.ok());
+  std::memset(mem.FrameData(*src), 0x5c, kPageSize);
+  mem.CopyFrame(*dst, *src);
+  EXPECT_EQ(std::memcmp(mem.FrameData(*dst), mem.FrameData(*src), kPageSize), 0);
+  mem.ZeroFrame(*dst);
+  for (uint64_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(static_cast<uint8_t>(mem.FrameData(*dst)[i]), 0u);
+  }
+  buddy.FreeFrame(*src);
+  buddy.FreeFrame(*dst);
+}
+
+TEST(BuddyTest, BlockAllocationIsAligned) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  for (int order = 0; order <= BuddyAllocator::kMaxOrder; ++order) {
+    Result<Pfn> block = buddy.AllocBlock(order);
+    ASSERT_TRUE(block.ok()) << "order " << order;
+    EXPECT_TRUE(IsAligned(*block, 1ull << order)) << "order " << order;
+    buddy.FreeBlock(*block, order);
+  }
+}
+
+TEST(BuddyTest, SplitAndCoalesceRoundTrip) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  buddy.FlushCpuCaches();
+  uint64_t free_before = buddy.FreeFrameCount();
+  // Allocate an order-6 block as 64 singles, free them all; coalescing must
+  // restore the free count exactly.
+  std::vector<Pfn> singles;
+  for (int i = 0; i < 64; ++i) {
+    Result<Pfn> f = buddy.AllocBlock(0);
+    ASSERT_TRUE(f.ok());
+    singles.push_back(*f);
+  }
+  for (Pfn f : singles) {
+    buddy.FreeBlock(f, 0);
+  }
+  EXPECT_EQ(buddy.FreeFrameCount(), free_before);
+}
+
+TEST(BuddyTest, DistinctFramesUnderConcurrency) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  constexpr int kPerThread = 2000;
+  int threads = 4;
+  std::vector<std::vector<Pfn>> got(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      BindThisThreadToCpu(t + 30);
+      for (int i = 0; i < kPerThread; ++i) {
+        Result<Pfn> f = buddy.AllocFrame();
+        ASSERT_TRUE(f.ok());
+        got[t].push_back(*f);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  std::set<Pfn> all;
+  for (auto& v : got) {
+    for (Pfn f : v) {
+      EXPECT_TRUE(all.insert(f).second) << "double allocation of frame " << f;
+    }
+  }
+  for (auto& v : got) {
+    for (Pfn f : v) {
+      buddy.FreeFrame(f);
+    }
+  }
+}
+
+TEST(BuddyTest, ZeroedFrameIsZero) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  Result<Pfn> f = buddy.AllocFrame();
+  ASSERT_TRUE(f.ok());
+  std::memset(PhysMem::Instance().FrameData(*f), 0xff, kPageSize);
+  buddy.FreeFrame(*f);
+  Result<Pfn> z = buddy.AllocZeroedFrame();
+  ASSERT_TRUE(z.ok());
+  for (uint64_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(static_cast<uint8_t>(PhysMem::Instance().FrameData(*z)[i]), 0u);
+  }
+  buddy.FreeFrame(*z);
+}
+
+TEST(BuddyTest, DescriptorStateTracksAllocation) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  Result<Pfn> f = buddy.AllocFrame();
+  ASSERT_TRUE(f.ok());
+  PageDescriptor& desc = PhysMem::Instance().Descriptor(*f);
+  EXPECT_EQ(desc.type.load(), FrameType::kKernel);
+  EXPECT_EQ(desc.refcount.load(), 1u);
+  buddy.FreeFrame(*f);
+  EXPECT_EQ(desc.type.load(), FrameType::kFree);
+}
+
+// ---------------------------------------------------------------------------
+// Slab
+// ---------------------------------------------------------------------------
+
+TEST(SlabTest, AllocFreeReuse) {
+  SlabCache cache(48, "test-48");
+  void* a = cache.Alloc();
+  void* b = cache.Alloc();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  cache.Free(a);
+  cache.Free(b);
+  // Reuse comes from the per-CPU magazine.
+  void* c = cache.Alloc();
+  EXPECT_TRUE(c == a || c == b);
+  cache.Free(c);
+}
+
+TEST(SlabTest, ObjectsDoNotOverlap) {
+  SlabCache cache(64, "test-64");
+  std::vector<void*> objs;
+  for (int i = 0; i < 500; ++i) {
+    void* p = cache.Alloc();
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i & 0xff, 64);
+    objs.push_back(p);
+  }
+  // Writing a distinct pattern into each object must not corrupt others.
+  for (int i = 0; i < 500; ++i) {
+    auto* bytes = static_cast<uint8_t*>(objs[i]);
+    std::memset(bytes, (i * 7) & 0xff, 64);
+  }
+  std::set<void*> unique(objs.begin(), objs.end());
+  EXPECT_EQ(unique.size(), objs.size());
+  for (void* p : objs) {
+    cache.Free(p);
+  }
+}
+
+TEST(SlabTest, TypedSlabConstructsAndDestroys) {
+  struct Probe {
+    explicit Probe(int* counter) : counter_(counter) { ++*counter_; }
+    ~Probe() { --*counter_; }
+    int* counter_;
+    char pad[40];
+  };
+  TypedSlab<Probe> slab("probe");
+  int live = 0;
+  Probe* a = slab.New(&live);
+  Probe* b = slab.New(&live);
+  EXPECT_EQ(live, 2);
+  slab.Delete(a);
+  slab.Delete(b);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(SlabTest, ConcurrentAllocFree) {
+  SlabCache cache(32, "test-mt");
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      BindThisThreadToCpu(t + 40);
+      std::vector<void*> mine;
+      for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 32; ++i) {
+          void* p = cache.Alloc();
+          if (p == nullptr) {
+            failed.store(true);
+            return;
+          }
+          *static_cast<uint64_t*>(p) = static_cast<uint64_t>(t) << 32 | i;
+          mine.push_back(p);
+        }
+        for (void* p : mine) {
+          cache.Free(p);
+        }
+        mine.clear();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace cortenmm

@@ -1,0 +1,204 @@
+// Tests for the page-table substrate: bit-exact PTE codecs for both ISAs,
+// walks, enumeration, huge leaves, and the index arithmetic everything else
+// rests on.
+#include <gtest/gtest.h>
+
+#include "src/pmm/buddy.h"
+#include "src/pt/page_table.h"
+
+namespace cortenmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Index arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(PtIndexTest, SpansAndIndices) {
+  EXPECT_EQ(PtEntrySpan(1), 4096u);
+  EXPECT_EQ(PtEntrySpan(2), 2ull << 20);   // 2 MiB
+  EXPECT_EQ(PtEntrySpan(3), 1ull << 30);   // 1 GiB
+  EXPECT_EQ(PtEntrySpan(4), 512ull << 30); // 512 GiB
+  EXPECT_EQ(PtPageSpan(1), 2ull << 20);
+  EXPECT_EQ(PtPageSpan(4), kVaLimit);
+
+  Vaddr va = (3ull << 39) | (5ull << 30) | (7ull << 21) | (9ull << 12) | 0x123;
+  EXPECT_EQ(PtIndex(va, 4), 3u);
+  EXPECT_EQ(PtIndex(va, 3), 5u);
+  EXPECT_EQ(PtIndex(va, 2), 7u);
+  EXPECT_EQ(PtIndex(va, 1), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 codec: bit-exact against the SDM layout.
+// ---------------------------------------------------------------------------
+
+TEST(X86PteTest, LeafEncoding) {
+  Pte pte = MakeLeafPte(Arch::kX86_64, 0x1234, Perm::RW(), 1);
+  // P | RW | US, frame address at bits 12..51, NX (no exec in RW()).
+  EXPECT_EQ(pte.raw & 0x1u, 1u);                       // P
+  EXPECT_EQ(pte.raw & 0x2u, 2u);                       // RW
+  EXPECT_EQ(pte.raw & 0x4u, 4u);                       // US
+  EXPECT_EQ((pte.raw >> 12) & 0xfffffffffull, 0x1234u);  // Address.
+  EXPECT_EQ(pte.raw >> 63, 1u);                        // NX set (not executable).
+  EXPECT_TRUE(PteIsPresent(Arch::kX86_64, pte));
+  EXPECT_TRUE(PteIsLeaf(Arch::kX86_64, pte, 1));
+  EXPECT_EQ(PtePfn(Arch::kX86_64, pte), 0x1234u);
+  Perm perm = PtePerm(Arch::kX86_64, pte);
+  EXPECT_TRUE(perm.read());
+  EXPECT_TRUE(perm.write());
+  EXPECT_FALSE(perm.exec());
+  EXPECT_TRUE(perm.user());
+}
+
+TEST(X86PteTest, HugeBitMarksLevel2Leaf) {
+  Pte huge = MakeLeafPte(Arch::kX86_64, 0x200, Perm::RW(), 2);
+  EXPECT_EQ((huge.raw >> 7) & 1u, 1u);  // PS bit.
+  EXPECT_TRUE(PteIsLeaf(Arch::kX86_64, huge, 2));
+  Pte table = MakeTablePte(Arch::kX86_64, 0x200);
+  EXPECT_FALSE(PteIsLeaf(Arch::kX86_64, table, 2));
+  EXPECT_TRUE(PteIsLeaf(Arch::kX86_64, table, 1));  // Level 1 is always leaf.
+}
+
+TEST(X86PteTest, CowSoftBit) {
+  Pte pte = MakeLeafPte(Arch::kX86_64, 1, Perm::R().With(Perm::kCow), 1);
+  EXPECT_EQ((pte.raw >> 9) & 1u, 1u);  // Software bit 9.
+  EXPECT_TRUE(PtePerm(Arch::kX86_64, pte).cow());
+  EXPECT_FALSE(PtePerm(Arch::kX86_64, pte).write());
+}
+
+TEST(X86PteTest, AccessDirtyBits) {
+  Pte pte = MakeLeafPte(Arch::kX86_64, 1, Perm::RW(), 1);
+  EXPECT_FALSE(PteAccessed(Arch::kX86_64, pte));
+  Pte read_touched = PteWithAccessDirty(Arch::kX86_64, pte, /*write=*/false);
+  EXPECT_TRUE(PteAccessed(Arch::kX86_64, read_touched));
+  EXPECT_FALSE(PteDirty(Arch::kX86_64, read_touched));
+  Pte write_touched = PteWithAccessDirty(Arch::kX86_64, pte, /*write=*/true);
+  EXPECT_TRUE(PteDirty(Arch::kX86_64, write_touched));
+  EXPECT_EQ((write_touched.raw >> 5) & 1u, 1u);  // A bit position.
+  EXPECT_EQ((write_touched.raw >> 6) & 1u, 1u);  // D bit position.
+}
+
+// ---------------------------------------------------------------------------
+// RISC-V Sv48 codec
+// ---------------------------------------------------------------------------
+
+TEST(RiscvPteTest, LeafEncoding) {
+  Pte pte = MakeLeafPte(Arch::kRiscvSv48, 0x1234, Perm::RW(), 1);
+  EXPECT_EQ(pte.raw & 0x1u, 1u);               // V
+  EXPECT_EQ((pte.raw >> 1) & 1u, 1u);          // R
+  EXPECT_EQ((pte.raw >> 2) & 1u, 1u);          // W
+  EXPECT_EQ((pte.raw >> 3) & 1u, 0u);          // X clear
+  EXPECT_EQ((pte.raw >> 4) & 1u, 1u);          // U
+  EXPECT_EQ((pte.raw >> 10) & 0xfffffffffffull, 0x1234u);  // PPN.
+  EXPECT_TRUE(PteIsLeaf(Arch::kRiscvSv48, pte, 3));  // RWX set => leaf at any level.
+  EXPECT_EQ(PtePfn(Arch::kRiscvSv48, pte), 0x1234u);
+}
+
+TEST(RiscvPteTest, TablePointerHasNoRwx) {
+  Pte table = MakeTablePte(Arch::kRiscvSv48, 0x42);
+  EXPECT_TRUE(PteIsPresent(Arch::kRiscvSv48, table));
+  EXPECT_FALSE(PteIsLeaf(Arch::kRiscvSv48, table, 2));
+  EXPECT_EQ(PtePfn(Arch::kRiscvSv48, table), 0x42u);
+  EXPECT_EQ(table.raw & 0xeu, 0u);  // R/W/X all clear.
+}
+
+TEST(RiscvPteTest, RswCowBit) {
+  Pte pte = MakeLeafPte(Arch::kRiscvSv48, 1, Perm::R().With(Perm::kCow), 1);
+  EXPECT_EQ((pte.raw >> 8) & 1u, 1u);  // RSW bit 0.
+  EXPECT_TRUE(PtePerm(Arch::kRiscvSv48, pte).cow());
+}
+
+TEST(RiscvPteTest, ReadPermIsExplicit) {
+  // Unlike x86, RISC-V pages can be present but unreadable... our Perm::R()
+  // always sets read; verify a write-only-ish encoding round-trips exactly.
+  Perm wo(Perm::kWrite | Perm::kUser);
+  Pte pte = MakeLeafPte(Arch::kRiscvSv48, 1, wo, 1);
+  Perm decoded = PtePerm(Arch::kRiscvSv48, pte);
+  EXPECT_FALSE(decoded.read());
+  EXPECT_TRUE(decoded.write());
+}
+
+// ---------------------------------------------------------------------------
+// PageTable structure
+// ---------------------------------------------------------------------------
+
+class PageTableTest : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(PageTableTest, WalkAfterManualInsert) {
+  PageTable pt(GetParam());
+  Vaddr va = 0x7f12345000ull;
+  // Build the path by hand.
+  Pfn page = pt.root();
+  for (int level = kPtLevels; level > 1; --level) {
+    Result<Pfn> child = pt.AllocPtPage(level - 1);
+    ASSERT_TRUE(child.ok());
+    pt.StoreEntry(page, PtIndex(va, level), MakeTablePte(GetParam(), *child));
+    page = *child;
+  }
+  pt.StoreEntry(page, PtIndex(va, 1), MakeLeafPte(GetParam(), 0xabc, Perm::RW(), 1));
+
+  PageTable::WalkResult hit = pt.Walk(va);
+  EXPECT_TRUE(hit.present);
+  EXPECT_EQ(hit.level, 1);
+  EXPECT_EQ(PtePfn(GetParam(), hit.pte), 0xabcu);
+
+  PageTable::WalkResult miss = pt.Walk(va + PtEntrySpan(2));
+  EXPECT_FALSE(miss.present);
+}
+
+TEST_P(PageTableTest, ForEachLeafVisitsRangeOnly) {
+  PageTable pt(GetParam());
+  // Map three leaves: two inside the query range, one outside.
+  auto map_at = [&](Vaddr va, Pfn pfn) {
+    Pfn page = pt.root();
+    for (int level = kPtLevels; level > 1; --level) {
+      Pte pte = pt.LoadEntry(page, PtIndex(va, level));
+      if (!PteIsPresent(GetParam(), pte)) {
+        Result<Pfn> child = pt.AllocPtPage(level - 1);
+        ASSERT_TRUE(child.ok());
+        pt.StoreEntry(page, PtIndex(va, level), MakeTablePte(GetParam(), *child));
+        pte = pt.LoadEntry(page, PtIndex(va, level));
+      }
+      page = PtePfn(GetParam(), pte);
+    }
+    pt.StoreEntry(page, PtIndex(va, 1), MakeLeafPte(GetParam(), pfn, Perm::RW(), 1));
+  };
+  map_at(0x10000000, 1);
+  map_at(0x10001000, 2);
+  map_at(0x10005000, 3);
+
+  std::vector<Vaddr> seen;
+  pt.ForEachLeaf(VaRange(0x10000000, 0x10002000),
+                 [&seen](Vaddr va, Pte, int) { seen.push_back(va); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 0x10000000u);
+  EXPECT_EQ(seen[1], 0x10001000u);
+}
+
+TEST_P(PageTableTest, CountPtPages) {
+  PageTable pt(GetParam());
+  EXPECT_EQ(pt.CountPtPages(), 1u);  // Root only.
+  Result<Pfn> child = pt.AllocPtPage(kPtLevels - 1);
+  ASSERT_TRUE(child.ok());
+  pt.StoreEntry(pt.root(), 0, MakeTablePte(GetParam(), *child));
+  EXPECT_EQ(pt.CountPtPages(), 2u);
+}
+
+TEST_P(PageTableTest, CasEntryDetectsRaces) {
+  PageTable pt(GetParam());
+  Pte original = pt.LoadEntry(pt.root(), 5);
+  Pte desired = MakeTablePte(GetParam(), 0x77);
+  EXPECT_TRUE(pt.CasEntry(pt.root(), 5, original, desired));
+  // Second CAS with the stale expected value must fail.
+  EXPECT_FALSE(pt.CasEntry(pt.root(), 5, original, kNullPte));
+  EXPECT_EQ(pt.LoadEntry(pt.root(), 5), desired);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, PageTableTest,
+                         ::testing::Values(Arch::kX86_64, Arch::kRiscvSv48),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           return info.param == Arch::kX86_64 ? "x86" : "riscv";
+                         });
+
+}  // namespace
+}  // namespace cortenmm

@@ -1,0 +1,294 @@
+// Unit and stress tests for the synchronization substrate: MCS lock,
+// phase-fair rwlock, BRAVO bias layer, epoch RCU, seqcount.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "src/common/cpu.h"
+#include "src/sync/bravo.h"
+#include "src/sync/mcs_lock.h"
+#include "src/sync/pfq_rwlock.h"
+#include "src/sync/rcu.h"
+#include "src/sync/seqlock.h"
+#include "src/sync/spinlock.h"
+
+namespace cortenmm {
+namespace {
+
+int StressThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 4 ? 4 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// MCS lock
+// ---------------------------------------------------------------------------
+
+TEST(McsLockTest, UncontendedLockUnlock) {
+  McsLock lock;
+  McsNode node;
+  lock.Lock(&node);
+  EXPECT_TRUE(lock.IsLockedHint());
+  lock.Unlock(&node);
+  EXPECT_FALSE(lock.IsLockedHint());
+}
+
+TEST(McsLockTest, TryLockFailsWhenHeld) {
+  McsLock lock;
+  McsNode a;
+  McsNode b;
+  lock.Lock(&a);
+  EXPECT_FALSE(lock.TryLock(&b));
+  lock.Unlock(&a);
+  EXPECT_TRUE(lock.TryLock(&b));
+  lock.Unlock(&b);
+}
+
+TEST(McsLockTest, MutualExclusionStress) {
+  McsLock lock;
+  int64_t counter = 0;
+  constexpr int kIters = 20000;
+  int threads = StressThreads();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&lock, &counter] {
+      for (int i = 0; i < kIters; ++i) {
+        McsNode node;
+        lock.Lock(&node);
+        // Non-atomic increment: torn only if mutual exclusion is broken.
+        counter = counter + 1;
+        lock.Unlock(&node);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter, static_cast<int64_t>(kIters) * threads);
+}
+
+TEST(McsLockTest, FifoHandoffUnderNesting) {
+  // One thread holds many locks at once via distinct nodes (the RCursor
+  // pattern): nodes must be independent.
+  constexpr int kLocks = 64;
+  std::vector<McsLock> locks(kLocks);
+  std::deque<McsNode> nodes;
+  for (int i = 0; i < kLocks; ++i) {
+    nodes.emplace_back();
+    locks[i].Lock(&nodes.back());
+  }
+  for (int i = kLocks - 1; i >= 0; --i) {
+    locks[i].Unlock(&nodes[i]);
+  }
+  for (int i = 0; i < kLocks; ++i) {
+    EXPECT_FALSE(locks[i].IsLockedHint());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase-fair rwlock
+// ---------------------------------------------------------------------------
+
+TEST(PfqRwLockTest, ReadersShare) {
+  PfqRwLock lock;
+  lock.ReadLock();
+  lock.ReadLock();  // A second reader must not block.
+  lock.ReadUnlock();
+  lock.ReadUnlock();
+}
+
+TEST(PfqRwLockTest, WriterExcludesReadersStress) {
+  PfqRwLock lock;
+  int64_t shared_value = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn_reads{0};
+  constexpr int kWrites = 10000;
+
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      lock.WriteLock();
+      shared_value = shared_value + 1;  // Interim odd state below.
+      shared_value = shared_value + 1;
+      lock.WriteUnlock();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < StressThreads() - 1; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        lock.ReadLock();
+        if (shared_value % 2 != 0) {
+          torn_reads.fetch_add(1);
+        }
+        lock.ReadUnlock();
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ(shared_value, 2 * kWrites);
+}
+
+// ---------------------------------------------------------------------------
+// BRAVO
+// ---------------------------------------------------------------------------
+
+TEST(BravoTest, FastPathReadThenWriterRevokes) {
+  BravoRwLock lock;
+  EXPECT_TRUE(lock.read_biased());
+  auto cookie = lock.ReadLock();
+  EXPECT_EQ(cookie, BravoRwLock::ReadCookie::kFastPath);
+  lock.ReadUnlock(cookie);
+
+  lock.WriteLock();  // Revokes the bias.
+  EXPECT_FALSE(lock.read_biased());
+  lock.WriteUnlock();
+
+  // Immediately after revocation readers take the underlying lock.
+  auto cookie2 = lock.ReadLock();
+  EXPECT_EQ(cookie2, BravoRwLock::ReadCookie::kUnderlying);
+  lock.ReadUnlock(cookie2);
+}
+
+TEST(BravoTest, WriterExcludesFastPathReadersStress) {
+  BravoRwLock lock;
+  int64_t shared_value = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 5000; ++i) {
+      lock.WriteLock();
+      shared_value = shared_value + 1;
+      shared_value = shared_value + 1;
+      lock.WriteUnlock();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < StressThreads() - 1; ++t) {
+    readers.emplace_back([&, t] {
+      BindThisThreadToCpu(t + 8);  // Spread BRAVO table slots.
+      while (!stop.load(std::memory_order_acquire)) {
+        auto cookie = lock.ReadLock();
+        if (shared_value % 2 != 0) {
+          torn.fetch_add(1);
+        }
+        lock.ReadUnlock(cookie);
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(torn.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// RCU
+// ---------------------------------------------------------------------------
+
+TEST(RcuTest, SynchronizeWaitsForReader) {
+  Rcu& rcu = Rcu::Instance();
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> reader_release{false};
+  std::atomic<bool> sync_done{false};
+
+  std::thread reader([&] {
+    BindThisThreadToCpu(20);
+    rcu.ReadLock();
+    reader_in.store(true);
+    while (!reader_release.load()) {
+      std::this_thread::yield();
+    }
+    rcu.ReadUnlock();
+  });
+  while (!reader_in.load()) {
+    std::this_thread::yield();
+  }
+  std::thread syncer([&] {
+    BindThisThreadToCpu(21);
+    rcu.Synchronize();
+    sync_done.store(true);
+  });
+  // The grace period must not elapse while the reader is inside.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(sync_done.load());
+  reader_release.store(true);
+  syncer.join();
+  reader.join();
+  EXPECT_TRUE(sync_done.load());
+}
+
+TEST(RcuTest, RetireDefersUntilGracePeriod) {
+  Rcu& rcu = Rcu::Instance();
+  rcu.DrainAll();
+  static std::atomic<int> freed;
+  freed.store(0);
+  auto deleter = [](void* p) {
+    freed.fetch_add(1);
+    delete static_cast<int*>(p);
+  };
+
+  rcu.ReadLock();
+  rcu.Retire(new int(1), deleter);
+  // Can't be freed yet: we are inside a read-side critical section that
+  // started before the retirement.
+  rcu.ReadUnlock();
+  rcu.DrainAll();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(RcuTest, NestedReadSections) {
+  Rcu& rcu = Rcu::Instance();
+  rcu.ReadLock();
+  rcu.ReadLock();
+  EXPECT_TRUE(rcu.InReadSection());
+  rcu.ReadUnlock();
+  EXPECT_TRUE(rcu.InReadSection());
+  rcu.ReadUnlock();
+  EXPECT_FALSE(rcu.InReadSection());
+}
+
+TEST(RcuTest, ManyRetirementsAllFreed) {
+  Rcu& rcu = Rcu::Instance();
+  rcu.DrainAll();
+  static std::atomic<int> live;
+  live.store(0);
+  auto deleter = [](void* p) {
+    live.fetch_sub(1);
+    delete static_cast<int*>(p);
+  };
+  for (int i = 0; i < 500; ++i) {
+    live.fetch_add(1);
+    rcu.Retire(new int(i), deleter);
+  }
+  rcu.DrainAll();
+  EXPECT_EQ(live.load(), 0);
+  EXPECT_EQ(rcu.PendingCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SeqCount
+// ---------------------------------------------------------------------------
+
+TEST(SeqCountTest, ValidatesAcrossWrite) {
+  SeqCount seq;
+  uint32_t snap = seq.ReadBegin();
+  EXPECT_TRUE(seq.ReadValidate(snap));
+  seq.WriteBegin();
+  seq.WriteEnd();
+  EXPECT_FALSE(seq.ReadValidate(snap));
+  EXPECT_TRUE(seq.ChangedSince(snap));
+}
+
+}  // namespace
+}  // namespace cortenmm

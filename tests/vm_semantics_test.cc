@@ -1,0 +1,287 @@
+// Advanced memory-semantics tests (paper Table 2): reverse mapping, shared
+// anonymous segments across fork, swap block sharing, file write-back
+// visibility, huge-page lifecycles, and on-demand paging edge cases.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/stats.h"
+#include "src/core/vm_space.h"
+#include "src/pmm/buddy.h"
+#include "src/pmm/phys_mem.h"
+#include "src/sim/mm_interface.h"
+#include "src/sim/mmu.h"
+
+namespace cortenmm {
+namespace {
+
+AddrSpace::Options AdvOptions() {
+  AddrSpace::Options options;
+  options.protocol = Protocol::kAdv;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Reverse mapping
+// ---------------------------------------------------------------------------
+
+TEST(ReverseMappingTest, AnonFrameRecordsOwnerSpaceAndVa) {
+  CortenVm mm(AdvOptions());
+  Result<Vaddr> va = mm.MmapAnon(kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(mm, *va, 5).ok());
+
+  // Find the frame via the page table, then check the descriptor's rmap.
+  RCursor cursor = mm.vm().addr_space().Lock(VaRange(*va, *va + kPageSize));
+  Status status = cursor.Query(*va);
+  ASSERT_TRUE(status.mapped());
+  PageDescriptor& desc = PhysMem::Instance().Descriptor(status.pfn);
+  SpinGuard guard(desc.rmap_lock);
+  EXPECT_EQ(desc.owner, &mm.vm().addr_space());
+  EXPECT_EQ(desc.owner_key, *va);
+  EXPECT_EQ(desc.type.load(), FrameType::kAnon);
+}
+
+TEST(ReverseMappingTest, FilePagesRecordFileAndIndex) {
+  SimFile* file = FileRegistry::Instance().CreateFile(4);
+  Result<Pfn> page = file->GetPage(2);
+  ASSERT_TRUE(page.ok());
+  PageDescriptor& desc = PhysMem::Instance().Descriptor(*page);
+  SpinGuard guard(desc.rmap_lock);
+  EXPECT_EQ(desc.owner, file);
+  EXPECT_EQ(desc.owner_key, 2u);
+  EXPECT_EQ(desc.type.load(), FrameType::kFileCache);
+}
+
+TEST(ReverseMappingTest, FileTracksMappingsForRmapWalks) {
+  CortenVm a(AdvOptions());
+  CortenVm b(AdvOptions());
+  SimFile* file = FileRegistry::Instance().CreateFile(16);
+  Result<Vaddr> va_a = a.vm().MmapFilePrivate(file, 0, 16 * kPageSize, Perm::R());
+  Result<Vaddr> va_b = b.vm().MmapFilePrivate(file, 4, 8 * kPageSize, Perm::R());
+  ASSERT_TRUE(va_a.ok());
+  ASSERT_TRUE(va_b.ok());
+
+  // Page 6 is covered by both mappings; page 1 only by the first.
+  EXPECT_EQ(file->MappingsOf(6).size(), 2u);
+  EXPECT_EQ(file->MappingsOf(1).size(), 1u);
+  // The rmap entries identify the exact (space, va) pairs.
+  std::vector<FileMapping> hits = file->MappingsOf(6);
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const FileMapping& m : hits) {
+    saw_a |= m.space == &a.vm().addr_space();
+    saw_b |= m.space == &b.vm().addr_space();
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+
+  // Rmap entries go away with the mapping.
+  file->RemoveMappings(&a.vm().addr_space(), *va_a);
+  EXPECT_EQ(file->MappingsOf(6).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared anonymous segments
+// ---------------------------------------------------------------------------
+
+TEST(SharedAnonTest, SurvivesForkAndStaysCoherent) {
+  CortenVm parent(AdvOptions());
+  SimFile* segment = FileRegistry::Instance().CreateSharedAnonSegment(4);
+  Result<Vaddr> va = parent.vm().MmapShared(segment, 0, 4 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(parent, *va, 111).ok());
+
+  std::unique_ptr<VmSpace> child_vm = parent.vm().Fork();
+  struct ChildFacade final : MmInterface {
+    VmSpace* vm;
+    explicit ChildFacade(VmSpace* v) : vm(v) {}
+    const char* name() const override { return "child"; }
+    Asid asid() const override { return vm->asid(); }
+    PageTable& PageTableFor(CpuId) override { return vm->addr_space().page_table(); }
+    void NoteCpuActive(CpuId cpu) override { vm->addr_space().NoteCpuActive(cpu); }
+    Result<Vaddr> MmapAnon(uint64_t l, Perm p) override { return vm->MmapAnon(l, p); }
+    VoidResult MmapAnonAt(Vaddr v, uint64_t l, Perm p) override {
+      return vm->MmapAnonAt(v, l, p);
+    }
+    VoidResult Munmap(Vaddr v, uint64_t l) override { return vm->Munmap(v, l); }
+    VoidResult Mprotect(Vaddr v, uint64_t l, Perm p) override {
+      return vm->Mprotect(v, l, p);
+    }
+    VoidResult HandleFault(Vaddr v, Access a) override { return vm->HandleFault(v, a); }
+  } child(child_vm.get());
+
+  // Shared mapping: the child's write must be visible to the parent (no COW).
+  ASSERT_TRUE(MmuSim::Write(child, *va, 222).ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(MmuSim::Read(parent, *va, &value).ok());
+  EXPECT_EQ(value, 222u);
+}
+
+TEST(SharedAnonTest, MprotectAfterForkBreaksSharingCorrectly) {
+  // Regression: a *read-only* private page shared by fork must still carry
+  // the COW mark, or mprotect(RW)+write in one space corrupts the other.
+  CortenVm parent(AdvOptions());
+  Result<Vaddr> va = parent.MmapAnon(kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(parent, *va, 1234).ok());
+  ASSERT_TRUE(parent.Mprotect(*va, kPageSize, Perm::R()).ok());  // Now read-only.
+
+  std::unique_ptr<VmSpace> child_vm = parent.vm().Fork();
+  // Child re-enables writes and scribbles; the parent's view must not change.
+  ASSERT_TRUE(child_vm->Mprotect(*va, kPageSize, Perm::RW()).ok());
+  RCursor cursor = child_vm->addr_space().Lock(VaRange(*va, *va + kPageSize));
+  Status status = cursor.Query(*va);
+  ASSERT_TRUE(status.mapped());
+  EXPECT_TRUE(status.perm.cow()) << "read-only private page lost its COW mark in fork";
+}
+
+// ---------------------------------------------------------------------------
+// Swap semantics
+// ---------------------------------------------------------------------------
+
+TEST(SwapTest, ForkSharesSwapBlocks) {
+  CortenVm parent(AdvOptions());
+  Result<Vaddr> va = parent.vm().MmapAnon(2 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(parent, *va, 4242).ok());
+  ASSERT_TRUE(MmuSim::Write(parent, *va + kPageSize, 4343).ok());
+  Result<uint64_t> swapped = parent.vm().SwapOut(*va, 2 * kPageSize);
+  ASSERT_TRUE(swapped.ok());
+  ASSERT_EQ(*swapped, 2u);
+
+  uint64_t blocks_before = SwapDevice::Instance().blocks_in_use();
+  std::unique_ptr<VmSpace> child = parent.vm().Fork();
+  // Fork shares the swapped pages via block refcounts: no new blocks.
+  EXPECT_EQ(SwapDevice::Instance().blocks_in_use(), blocks_before);
+
+  // Both sides can fault their copy back in independently.
+  ASSERT_TRUE(parent.vm().HandleFault(*va, Access::kRead).ok());
+  ASSERT_TRUE(child->HandleFault(*va, Access::kRead).ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(MmuSim::Read(parent, *va, &value).ok());
+  EXPECT_EQ(value, 4242u);
+}
+
+TEST(SwapTest, MunmapReleasesBlocks) {
+  CortenVm mm(AdvOptions());
+  Result<Vaddr> va = mm.MmapAnon(4 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::TouchRange(mm, *va, 4 * kPageSize, true).ok());
+  ASSERT_TRUE(mm.vm().SwapOut(*va, 4 * kPageSize).ok());
+  uint64_t used = SwapDevice::Instance().blocks_in_use();
+  ASSERT_TRUE(mm.Munmap(*va, 4 * kPageSize).ok());
+  EXPECT_EQ(SwapDevice::Instance().blocks_in_use(), used - 4);
+}
+
+TEST(SwapTest, SwapSkipsSharedCowPages) {
+  CortenVm parent(AdvOptions());
+  Result<Vaddr> va = parent.vm().MmapAnon(kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(parent, *va, 9).ok());
+  std::unique_ptr<VmSpace> child = parent.vm().Fork();
+  // The page is mapcount 2 (COW-shared): SwapOut must leave it alone.
+  Result<uint64_t> swapped = parent.vm().SwapOut(*va, kPageSize);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(*swapped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// File mappings
+// ---------------------------------------------------------------------------
+
+TEST(FileMappingTest, SharedFileWritesHitThePageCache) {
+  CortenVm mm(AdvOptions());
+  SimFile* file = FileRegistry::Instance().CreateFile(4);
+  Result<Vaddr> va = mm.vm().MmapShared(file, 0, 4 * kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(mm, *va, 0x5eed).ok());
+  ASSERT_TRUE(mm.vm().Msync(*va, 4 * kPageSize).ok());
+
+  // The cache frame *is* the file: a second mapping observes the write.
+  CortenVm other(AdvOptions());
+  Result<Vaddr> va2 = other.vm().MmapShared(file, 0, 4 * kPageSize, Perm::R());
+  ASSERT_TRUE(va2.ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(MmuSim::Read(other, *va2, &value).ok());
+  EXPECT_EQ(value, 0x5eedu);
+}
+
+TEST(FileMappingTest, PrivateMapUnaffectedByLaterCacheWrites) {
+  CortenVm reader(AdvOptions());
+  CortenVm writer(AdvOptions());
+  SimFile* file = FileRegistry::Instance().CreateFile(2);
+  Result<Vaddr> rva = reader.vm().MmapFilePrivate(file, 0, kPageSize, Perm::RW());
+  ASSERT_TRUE(rva.ok());
+  // Private write: breaks to a private copy immediately.
+  ASSERT_TRUE(MmuSim::Write(reader, *rva, 0x1111).ok());
+
+  Result<Vaddr> wva = writer.vm().MmapShared(file, 0, kPageSize, Perm::RW());
+  ASSERT_TRUE(wva.ok());
+  ASSERT_TRUE(MmuSim::Write(writer, *wva, 0x2222).ok());
+
+  uint64_t value = 0;
+  ASSERT_TRUE(MmuSim::Read(reader, *rva, &value).ok());
+  EXPECT_EQ(value, 0x1111u);  // Still the private copy.
+}
+
+TEST(FileMappingTest, OffsetMappingsReadTheRightPages) {
+  CortenVm mm(AdvOptions());
+  SimFile* file = FileRegistry::Instance().CreateFile(64);
+  // Map pages [32, 40).
+  Result<Vaddr> va = mm.vm().MmapFilePrivate(file, 32, 8 * kPageSize, Perm::R());
+  ASSERT_TRUE(va.ok());
+  for (int i = 0; i < 8; ++i) {
+    uint64_t value = 0;
+    ASSERT_TRUE(MmuSim::Read(mm, *va + i * kPageSize, &value).ok());
+    uint64_t expected = 0;
+    uint64_t file_offset = static_cast<uint64_t>(32 + i) * kPageSize;
+    for (int byte = 7; byte >= 0; --byte) {
+      expected = (expected << 8) | SimFile::ContentByte(file->id(), file_offset + byte);
+    }
+    EXPECT_EQ(value, expected) << "page " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// On-demand paging edge cases
+// ---------------------------------------------------------------------------
+
+TEST(OnDemandTest, ReadBeforeWriteZeroFills) {
+  CortenVm mm(AdvOptions());
+  Result<Vaddr> va = mm.MmapAnon(kPageSize, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  uint64_t faults = GlobalStats().Total(Counter::kDemandZeroFills);
+  uint64_t value = 0xffff;
+  ASSERT_TRUE(MmuSim::Read(mm, *va, &value).ok());
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(GlobalStats().Total(Counter::kDemandZeroFills), faults + 1);
+  // The second access takes no fault.
+  ASSERT_TRUE(MmuSim::Write(mm, *va, 3).ok());
+  EXPECT_EQ(GlobalStats().Total(Counter::kDemandZeroFills), faults + 1);
+}
+
+TEST(OnDemandTest, ExecFaultOnNoExecPage) {
+  CortenVm mm(AdvOptions());
+  Result<Vaddr> va = mm.MmapAnon(kPageSize, Perm::RW());  // rw-, no exec.
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(MmuSim::Write(mm, *va, 1).ok());
+  EXPECT_EQ(MmuSim::Access(mm, *va, Access::kExec).error(), ErrCode::kFault);
+}
+
+TEST(OnDemandTest, HugeRegionMarksStayCoarseUntilTouched) {
+  CortenVm mm(AdvOptions());
+  uint64_t pt_before = GlobalStats().Total(Counter::kPtPagesAllocated) -
+                       GlobalStats().Total(Counter::kPtPagesFreed);
+  // 1 GiB mapping: should cost O(1) PT pages until pages are touched.
+  Result<Vaddr> va = mm.MmapAnon(1ull << 30, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  uint64_t pt_after_mmap = GlobalStats().Total(Counter::kPtPagesAllocated) -
+                           GlobalStats().Total(Counter::kPtPagesFreed);
+  EXPECT_LE(pt_after_mmap - pt_before, 8u);
+  ASSERT_TRUE(MmuSim::Write(mm, *va + (512ull << 20), 1).ok());
+  ASSERT_TRUE(mm.Munmap(*va, 1ull << 30).ok());
+}
+
+}  // namespace
+}  // namespace cortenmm
