@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_single_thread.dir/fig13_single_thread.cc.o"
+  "CMakeFiles/fig13_single_thread.dir/fig13_single_thread.cc.o.d"
+  "fig13_single_thread"
+  "fig13_single_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

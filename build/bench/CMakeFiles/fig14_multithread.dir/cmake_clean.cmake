@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_multithread.dir/fig14_multithread.cc.o"
+  "CMakeFiles/fig14_multithread.dir/fig14_multithread.cc.o.d"
+  "fig14_multithread"
+  "fig14_multithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

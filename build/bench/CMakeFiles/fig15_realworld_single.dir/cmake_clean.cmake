@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_realworld_single.dir/fig15_realworld_single.cc.o"
+  "CMakeFiles/fig15_realworld_single.dir/fig15_realworld_single.cc.o.d"
+  "fig15_realworld_single"
+  "fig15_realworld_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_realworld_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

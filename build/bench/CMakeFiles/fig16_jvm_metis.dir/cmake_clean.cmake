@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_jvm_metis.dir/fig16_jvm_metis.cc.o"
+  "CMakeFiles/fig16_jvm_metis.dir/fig16_jvm_metis.cc.o.d"
+  "fig16_jvm_metis"
+  "fig16_jvm_metis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_jvm_metis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

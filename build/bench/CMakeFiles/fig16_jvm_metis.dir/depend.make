@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_jvm_metis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dedup_psearchy.dir/fig17_dedup_psearchy.cc.o"
+  "CMakeFiles/fig17_dedup_psearchy.dir/fig17_dedup_psearchy.cc.o.d"
+  "fig17_dedup_psearchy"
+  "fig17_dedup_psearchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dedup_psearchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

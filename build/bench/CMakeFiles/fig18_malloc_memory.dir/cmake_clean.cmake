@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_malloc_memory.dir/fig18_malloc_memory.cc.o"
+  "CMakeFiles/fig18_malloc_memory.dir/fig18_malloc_memory.cc.o.d"
+  "fig18_malloc_memory"
+  "fig18_malloc_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_malloc_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_riscv.dir/fig19_riscv.cc.o"
+  "CMakeFiles/fig19_riscv.dir/fig19_riscv.cc.o.d"
+  "fig19_riscv"
+  "fig19_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

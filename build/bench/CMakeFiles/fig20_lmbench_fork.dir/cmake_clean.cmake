@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_lmbench_fork.dir/fig20_lmbench_fork.cc.o"
+  "CMakeFiles/fig20_lmbench_fork.dir/fig20_lmbench_fork.cc.o.d"
+  "fig20_lmbench_fork"
+  "fig20_lmbench_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_lmbench_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_parsec.dir/fig21_parsec.cc.o"
+  "CMakeFiles/fig21_parsec.dir/fig21_parsec.cc.o.d"
+  "fig21_parsec"
+  "fig21_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ops_gbench.dir/micro_ops_gbench.cc.o"
+  "CMakeFiles/micro_ops_gbench.dir/micro_ops_gbench.cc.o.d"
+  "micro_ops_gbench"
+  "micro_ops_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ops_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_features.dir/table02_features.cc.o"
+  "CMakeFiles/table02_features.dir/table02_features.cc.o.d"
+  "table02_features"
+  "table02_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

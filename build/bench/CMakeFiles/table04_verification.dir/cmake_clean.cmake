@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_verification.dir/table04_verification.cc.o"
+  "CMakeFiles/table04_verification.dir/table04_verification.cc.o.d"
+  "table04_verification"
+  "table04_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

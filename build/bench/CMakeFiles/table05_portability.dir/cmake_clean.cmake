@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_portability.dir/table05_portability.cc.o"
+  "CMakeFiles/table05_portability.dir/table05_portability.cc.o.d"
+  "table05_portability"
+  "table05_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefork_server.dir/prefork_server.cpp.o"
+  "CMakeFiles/prefork_server.dir/prefork_server.cpp.o.d"
+  "prefork_server"
+  "prefork_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefork_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

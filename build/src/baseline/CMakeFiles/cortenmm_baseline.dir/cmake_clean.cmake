@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_baseline.dir/linux_mm.cc.o"
+  "CMakeFiles/cortenmm_baseline.dir/linux_mm.cc.o.d"
+  "CMakeFiles/cortenmm_baseline.dir/nros_mm.cc.o"
+  "CMakeFiles/cortenmm_baseline.dir/nros_mm.cc.o.d"
+  "CMakeFiles/cortenmm_baseline.dir/radixvm_mm.cc.o"
+  "CMakeFiles/cortenmm_baseline.dir/radixvm_mm.cc.o.d"
+  "CMakeFiles/cortenmm_baseline.dir/vma_tree.cc.o"
+  "CMakeFiles/cortenmm_baseline.dir/vma_tree.cc.o.d"
+  "libcortenmm_baseline.a"
+  "libcortenmm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_common.dir/cpu.cc.o"
+  "CMakeFiles/cortenmm_common.dir/cpu.cc.o.d"
+  "CMakeFiles/cortenmm_common.dir/result.cc.o"
+  "CMakeFiles/cortenmm_common.dir/result.cc.o.d"
+  "CMakeFiles/cortenmm_common.dir/stats.cc.o"
+  "CMakeFiles/cortenmm_common.dir/stats.cc.o.d"
+  "libcortenmm_common.a"
+  "libcortenmm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

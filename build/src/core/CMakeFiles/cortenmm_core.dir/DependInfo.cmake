@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/addr_space.cc" "src/core/CMakeFiles/cortenmm_core.dir/addr_space.cc.o" "gcc" "src/core/CMakeFiles/cortenmm_core.dir/addr_space.cc.o.d"
+  "/root/repo/src/core/backing.cc" "src/core/CMakeFiles/cortenmm_core.dir/backing.cc.o" "gcc" "src/core/CMakeFiles/cortenmm_core.dir/backing.cc.o.d"
+  "/root/repo/src/core/rcursor.cc" "src/core/CMakeFiles/cortenmm_core.dir/rcursor.cc.o" "gcc" "src/core/CMakeFiles/cortenmm_core.dir/rcursor.cc.o.d"
+  "/root/repo/src/core/va_alloc.cc" "src/core/CMakeFiles/cortenmm_core.dir/va_alloc.cc.o" "gcc" "src/core/CMakeFiles/cortenmm_core.dir/va_alloc.cc.o.d"
+  "/root/repo/src/core/vm_space.cc" "src/core/CMakeFiles/cortenmm_core.dir/vm_space.cc.o" "gcc" "src/core/CMakeFiles/cortenmm_core.dir/vm_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cortenmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmm/CMakeFiles/cortenmm_pmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/cortenmm_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/cortenmm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cortenmm_tlb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_core.dir/addr_space.cc.o"
+  "CMakeFiles/cortenmm_core.dir/addr_space.cc.o.d"
+  "CMakeFiles/cortenmm_core.dir/backing.cc.o"
+  "CMakeFiles/cortenmm_core.dir/backing.cc.o.d"
+  "CMakeFiles/cortenmm_core.dir/rcursor.cc.o"
+  "CMakeFiles/cortenmm_core.dir/rcursor.cc.o.d"
+  "CMakeFiles/cortenmm_core.dir/va_alloc.cc.o"
+  "CMakeFiles/cortenmm_core.dir/va_alloc.cc.o.d"
+  "CMakeFiles/cortenmm_core.dir/vm_space.cc.o"
+  "CMakeFiles/cortenmm_core.dir/vm_space.cc.o.d"
+  "libcortenmm_core.a"
+  "libcortenmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmm/buddy.cc" "src/pmm/CMakeFiles/cortenmm_pmm.dir/buddy.cc.o" "gcc" "src/pmm/CMakeFiles/cortenmm_pmm.dir/buddy.cc.o.d"
+  "/root/repo/src/pmm/phys_mem.cc" "src/pmm/CMakeFiles/cortenmm_pmm.dir/phys_mem.cc.o" "gcc" "src/pmm/CMakeFiles/cortenmm_pmm.dir/phys_mem.cc.o.d"
+  "/root/repo/src/pmm/slab.cc" "src/pmm/CMakeFiles/cortenmm_pmm.dir/slab.cc.o" "gcc" "src/pmm/CMakeFiles/cortenmm_pmm.dir/slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cortenmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/cortenmm_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

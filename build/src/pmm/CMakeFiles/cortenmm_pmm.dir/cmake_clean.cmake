@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_pmm.dir/buddy.cc.o"
+  "CMakeFiles/cortenmm_pmm.dir/buddy.cc.o.d"
+  "CMakeFiles/cortenmm_pmm.dir/phys_mem.cc.o"
+  "CMakeFiles/cortenmm_pmm.dir/phys_mem.cc.o.d"
+  "CMakeFiles/cortenmm_pmm.dir/slab.cc.o"
+  "CMakeFiles/cortenmm_pmm.dir/slab.cc.o.d"
+  "libcortenmm_pmm.a"
+  "libcortenmm_pmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_pmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

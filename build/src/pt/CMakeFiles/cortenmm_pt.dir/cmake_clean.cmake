@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_pt.dir/page_table.cc.o"
+  "CMakeFiles/cortenmm_pt.dir/page_table.cc.o.d"
+  "libcortenmm_pt.a"
+  "libcortenmm_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

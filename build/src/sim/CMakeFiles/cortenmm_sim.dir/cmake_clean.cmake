@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_sim.dir/mmu.cc.o"
+  "CMakeFiles/cortenmm_sim.dir/mmu.cc.o.d"
+  "libcortenmm_sim.a"
+  "libcortenmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcortenmm_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_workloads.dir/bench_util.cc.o"
+  "CMakeFiles/cortenmm_workloads.dir/bench_util.cc.o.d"
+  "CMakeFiles/cortenmm_workloads.dir/workloads.cc.o"
+  "CMakeFiles/cortenmm_workloads.dir/workloads.cc.o.d"
+  "libcortenmm_workloads.a"
+  "libcortenmm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

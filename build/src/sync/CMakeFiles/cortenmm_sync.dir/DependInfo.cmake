@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/bravo.cc" "src/sync/CMakeFiles/cortenmm_sync.dir/bravo.cc.o" "gcc" "src/sync/CMakeFiles/cortenmm_sync.dir/bravo.cc.o.d"
+  "/root/repo/src/sync/mcs_pool.cc" "src/sync/CMakeFiles/cortenmm_sync.dir/mcs_pool.cc.o" "gcc" "src/sync/CMakeFiles/cortenmm_sync.dir/mcs_pool.cc.o.d"
+  "/root/repo/src/sync/rcu.cc" "src/sync/CMakeFiles/cortenmm_sync.dir/rcu.cc.o" "gcc" "src/sync/CMakeFiles/cortenmm_sync.dir/rcu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cortenmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

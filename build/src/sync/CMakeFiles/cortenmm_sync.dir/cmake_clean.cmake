@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_sync.dir/bravo.cc.o"
+  "CMakeFiles/cortenmm_sync.dir/bravo.cc.o.d"
+  "CMakeFiles/cortenmm_sync.dir/mcs_pool.cc.o"
+  "CMakeFiles/cortenmm_sync.dir/mcs_pool.cc.o.d"
+  "CMakeFiles/cortenmm_sync.dir/rcu.cc.o"
+  "CMakeFiles/cortenmm_sync.dir/rcu.cc.o.d"
+  "libcortenmm_sync.a"
+  "libcortenmm_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/shootdown.cc" "src/tlb/CMakeFiles/cortenmm_tlb.dir/shootdown.cc.o" "gcc" "src/tlb/CMakeFiles/cortenmm_tlb.dir/shootdown.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/tlb/CMakeFiles/cortenmm_tlb.dir/tlb.cc.o" "gcc" "src/tlb/CMakeFiles/cortenmm_tlb.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cortenmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/cortenmm_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

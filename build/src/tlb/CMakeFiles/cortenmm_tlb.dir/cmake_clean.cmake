@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_tlb.dir/shootdown.cc.o"
+  "CMakeFiles/cortenmm_tlb.dir/shootdown.cc.o.d"
+  "CMakeFiles/cortenmm_tlb.dir/tlb.cc.o"
+  "CMakeFiles/cortenmm_tlb.dir/tlb.cc.o.d"
+  "libcortenmm_tlb.a"
+  "libcortenmm_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortenmm_verif.dir/model.cc.o"
+  "CMakeFiles/cortenmm_verif.dir/model.cc.o.d"
+  "CMakeFiles/cortenmm_verif.dir/tree_model.cc.o"
+  "CMakeFiles/cortenmm_verif.dir/tree_model.cc.o.d"
+  "CMakeFiles/cortenmm_verif.dir/wf_checker.cc.o"
+  "CMakeFiles/cortenmm_verif.dir/wf_checker.cc.o.d"
+  "libcortenmm_verif.a"
+  "libcortenmm_verif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortenmm_verif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/cortenmm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/verif/CMakeFiles/cortenmm_verif.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cortenmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cortenmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cortenmm_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/cortenmm_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmm/CMakeFiles/cortenmm_pmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/cortenmm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cortenmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

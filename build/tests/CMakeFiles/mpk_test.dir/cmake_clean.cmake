@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpk_test.dir/mpk_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk_test.cc.o.d"
+  "mpk_test"
+  "mpk_test.pdb"
+  "mpk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

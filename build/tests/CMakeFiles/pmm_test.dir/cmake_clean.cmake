@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmm_test.dir/pmm_test.cc.o"
+  "CMakeFiles/pmm_test.dir/pmm_test.cc.o.d"
+  "pmm_test"
+  "pmm_test.pdb"
+  "pmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

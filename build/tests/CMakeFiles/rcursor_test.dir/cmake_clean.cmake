@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcursor_test.dir/rcursor_test.cc.o"
+  "CMakeFiles/rcursor_test.dir/rcursor_test.cc.o.d"
+  "rcursor_test"
+  "rcursor_test.pdb"
+  "rcursor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/verif_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/pmm_test[1]_include.cmake")
+include("/root/repo/build/tests/pt_test[1]_include.cmake")
+include("/root/repo/build/tests/tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/rcursor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/mpk_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
