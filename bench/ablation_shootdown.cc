@@ -9,6 +9,7 @@
 // ticks entirely.
 #include <cstdio>
 
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 #include "src/sim/workloads.h"
 

@@ -8,13 +8,15 @@
 // — adv stops scaling past the shared covering PT page but stays far above
 // Linux on unmap; RadixVM competitive on PF (per-core page tables).
 #include <cstdio>
+#include <string>
 
+#include "src/obs/telemetry.h"
 #include "src/sim/workloads.h"
 
 namespace cortenmm {
 namespace {
 
-void RunPanel(Micro micro, Contention contention) {
+void RunPanel(Micro micro, Contention contention, TelemetrySink* sink) {
   std::vector<int> sweep = SweepThreads();
   std::printf("\n--- %s (%s contention) --- threads:", MicroName(micro),
               contention == Contention::kLow ? "low" : "high");
@@ -22,16 +24,22 @@ void RunPanel(Micro micro, Contention contention) {
     std::printf(" %8d", t);
   }
   std::printf("  [ops/s]\n");
+  const char* contention_name = contention == Contention::kLow ? "low" : "high";
   for (MmKind kind : ComparisonSet()) {
     if (!MicroSupported(micro, kind)) {
       std::printf("%-16s    (no demand paging: skipped)\n", MmKindName(kind));
       continue;
     }
+    // One telemetry snapshot per (micro, contention, system) row: reset
+    // before the sweep so the histograms attribute to this system only.
+    Telemetry::Instance().Reset();
     std::vector<double> row;
     for (int threads : sweep) {
       row.push_back(RunMicro(micro, kind, threads, contention));
     }
     PrintRow(MmKindName(kind), row);
+    sink->Snapshot(std::string(MicroName(micro)) + "/" + contention_name + "/" +
+                   MmKindName(kind));
   }
 }
 
@@ -45,10 +53,11 @@ int main() {
               "Low: adv scales, Linux mmap/unmap flat (mmap_lock), rw below adv. "
               "High: adv saturates at the shared covering PT page but beats "
               "Linux; RadixVM strong on PF.");
+  TelemetrySink sink("fig14_multithread");
   for (Micro micro : {Micro::kMmap, Micro::kMmapPf, Micro::kUnmapVirt, Micro::kUnmap,
                       Micro::kPf}) {
-    RunPanel(micro, Contention::kLow);
-    RunPanel(micro, Contention::kHigh);
+    RunPanel(micro, Contention::kLow, &sink);
+    RunPanel(micro, Contention::kHigh, &sink);
   }
   return 0;
 }

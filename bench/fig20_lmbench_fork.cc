@@ -5,20 +5,25 @@
 // enumerate the address space where Linux walks its VMA list): ~18% slower.
 // fork+exec flips in CortenMM's favour (~23% faster: the exec'd child's
 // page-fault storm dominates), and shell is a wash.
+//
+// Both systems are driven through the MmInterface facade — Fork() is a
+// first-class facade operation, so no per-system adapters are needed.
+#include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <utility>
+#include <vector>
 
-#include "src/baseline/linux_mm.h"
+#include "src/sim/bench_util.h"
 #include "src/sim/mmu.h"
-#include "src/sim/workloads.h"
 
 namespace cortenmm {
 namespace {
 
 // The "parent process" image: a moderately populated address space (text,
 // heap, stacks), sparse like a real dummy process.
-template <typename Mm>
-void PopulateParent(Mm& mm, std::vector<std::pair<Vaddr, uint64_t>>* regions) {
+void PopulateParent(MmInterface& mm, std::vector<std::pair<Vaddr, uint64_t>>* regions) {
   struct Region {
     uint64_t bytes;
     uint64_t touch_bytes;
@@ -38,8 +43,7 @@ void PopulateParent(Mm& mm, std::vector<std::pair<Vaddr, uint64_t>>* regions) {
 }
 
 // One "exec": tear down the child's mappings and build a fresh small image.
-template <typename Child>
-void ExecInto(Child& child, const std::vector<std::pair<Vaddr, uint64_t>>& regions) {
+void ExecInto(MmInterface& child, const std::vector<std::pair<Vaddr, uint64_t>>& regions) {
   for (auto [va, bytes] : regions) {
     child.Munmap(va, bytes);
   }
@@ -54,9 +58,9 @@ struct Timings {
   double shell_us;
 };
 
-template <typename Mm>
-Timings MeasureVia(int iters) {
-  Mm parent;
+Timings MeasureVia(MmKind kind, int iters) {
+  std::unique_ptr<MmInterface> parent_owner = MakeMm(kind);
+  MmInterface& parent = *parent_owner;
   std::vector<std::pair<Vaddr, uint64_t>> regions;
   PopulateParent(parent, &regions);
   Timings timings{};
@@ -87,48 +91,6 @@ Timings MeasureVia(int iters) {
   return timings;
 }
 
-// CortenMM needs a tiny adapter: Fork() lives on VmSpace.
-class CortenProc {
- public:
-  CortenProc() : vm_(std::make_unique<VmSpace>(Options())), facade_(vm_.get()) {}
-  explicit CortenProc(std::unique_ptr<VmSpace> vm)
-      : vm_(std::move(vm)), facade_(vm_.get()) {}
-
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) { return vm_->MmapAnon(len, perm); }
-  VoidResult Munmap(Vaddr va, uint64_t len) { return vm_->Munmap(va, len); }
-  std::unique_ptr<CortenProc> Fork() {
-    return std::unique_ptr<CortenProc>(new CortenProc(vm_->Fork()));
-  }
-  operator MmInterface&() { return facade_; }
-
- private:
-  static AddrSpace::Options Options() {
-    AddrSpace::Options options;
-    options.protocol = Protocol::kAdv;
-    return options;
-  }
-  struct Facade final : MmInterface {
-    explicit Facade(VmSpace* vm) : vm(vm) {}
-    VmSpace* vm;
-    const char* name() const override { return "corten-proc"; }
-    Asid asid() const override { return vm->asid(); }
-    PageTable& PageTableFor(CpuId) override { return vm->addr_space().page_table(); }
-    void NoteCpuActive(CpuId cpu) override { vm->addr_space().NoteCpuActive(cpu); }
-    Result<Vaddr> MmapAnon(uint64_t l, Perm p) override { return vm->MmapAnon(l, p); }
-    VoidResult MmapAnonAt(Vaddr v, uint64_t l, Perm p) override {
-      return vm->MmapAnonAt(v, l, p);
-    }
-    VoidResult Munmap(Vaddr v, uint64_t l) override { return vm->Munmap(v, l); }
-    VoidResult Mprotect(Vaddr v, uint64_t l, Perm p) override {
-      return vm->Mprotect(v, l, p);
-    }
-    VoidResult HandleFault(Vaddr v, Access a) override { return vm->HandleFault(v, a); }
-  };
-
-  std::unique_ptr<VmSpace> vm_;
-  Facade facade_;
-};
-
 }  // namespace
 }  // namespace cortenmm
 
@@ -140,8 +102,8 @@ int main() {
               "fork+exec: CortenMM faster (fault handling dominates); shell: "
               "comparable.");
   constexpr int kIters = 12;
-  Timings corten = MeasureVia<CortenProc>(kIters);
-  Timings linux_mm = MeasureVia<LinuxVmaMm>(kIters);
+  Timings corten = MeasureVia(MmKind::kCortenAdv, kIters);
+  Timings linux_mm = MeasureVia(MmKind::kLinux, kIters);
   std::printf("%-16s %12s %12s %12s   [us/op]\n", "system", "fork", "fork+exec", "shell");
   std::printf("%-16s %12.1f %12.1f %12.1f\n", "CortenMM-adv", corten.fork_us,
               corten.fork_exec_us, corten.shell_us);

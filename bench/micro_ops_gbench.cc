@@ -5,9 +5,14 @@
 // tracking of the locking protocols themselves.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "src/core/addr_space.h"
+#include "src/obs/telemetry.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
+#include "src/sim/bench_util.h"
 
 namespace cortenmm {
 namespace {
@@ -116,7 +121,58 @@ void BM_ContendedLock(benchmark::State& state) {
 }
 BENCHMARK(BM_ContendedLock)->Arg(0)->Arg(1)->Threads(1)->Threads(2)->Threads(4);
 
+// Full MM entry-point cost through the uniform MmInterface facade, one
+// instance per comparison system. Arg = MmKind of ComparisonSet() (0..4).
+void BM_FacadeMmapMunmap(benchmark::State& state) {
+  MmKind kind = static_cast<MmKind>(state.range(0));
+  std::unique_ptr<MmInterface> mm = MakeMm(kind);
+  constexpr uint64_t kLen = 16 * kPageSize;
+  for (auto _ : state) {
+    Result<Vaddr> va = mm->MmapAnon(kLen, Perm::RW());
+    mm->Munmap(*va, kLen);
+  }
+  state.SetLabel(MmKindName(kind));
+}
+BENCHMARK(BM_FacadeMmapMunmap)->DenseRange(0, 4);
+
+// Drives every comparison system through the facade and snapshots the
+// telemetry histograms per system, so the emitted JSON carries p50/p99 for
+// each MM op and each lock-protocol phase per manager. Runs after the
+// google-benchmark suite so its timings are unaffected.
+void EmitTelemetrySnapshots() {
+  TelemetrySink sink("micro_ops");
+  constexpr int kIters = 512;
+  constexpr uint64_t kLen = 16 * kPageSize;
+  for (MmKind kind : ComparisonSet()) {
+    std::unique_ptr<MmInterface> mm = MakeMm(kind);
+    Telemetry::Instance().Reset();
+    for (int i = 0; i < kIters; ++i) {
+      Result<Vaddr> va = mm->MmapAnon(kLen, Perm::RW());
+      if (!va.ok()) {
+        continue;
+      }
+      if (mm->demand_paging()) {
+        for (uint64_t off = 0; off < kLen; off += kPageSize) {
+          mm->HandleFault(*va + off, Access::kWrite);
+        }
+      }
+      mm->Mprotect(*va, kLen, Perm::R());
+      mm->Munmap(*va, kLen);
+    }
+    sink.Snapshot(std::string("facade_ops/") + MmKindName(kind));
+  }
+}
+
 }  // namespace
 }  // namespace cortenmm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  cortenmm::EmitTelemetrySnapshots();
+  return 0;
+}

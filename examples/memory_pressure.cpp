@@ -12,7 +12,7 @@
 
 #include "src/common/stats.h"
 #include "src/core/vm_space.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 
 using namespace cortenmm;
@@ -44,7 +44,7 @@ int main() {
     while (mm.vm().ResidentPages() > kResidentBudgetPages) {
       static int next_victim = 0;
       Result<uint64_t> evicted =
-          mm.vm().SwapOut(segments[next_victim], kSegmentPages * kPageSize);
+          mm.SwapOut(segments[next_victim], kSegmentPages * kPageSize);
       std::printf("  over budget after segment %d: swapped out segment %d "
                   "(%llu pages)\n",
                   s, next_victim, static_cast<unsigned long long>(evicted.value_or(0)));

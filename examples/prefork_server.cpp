@@ -14,46 +14,21 @@
 #include "src/common/stats.h"
 #include "src/core/vm_space.h"
 #include "src/pmm/buddy.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 
 using namespace cortenmm;
 
 namespace {
 
-// Minimal facade so MmuSim can drive a bare VmSpace.
-class Proc final : public MmInterface {
- public:
-  explicit Proc(std::unique_ptr<VmSpace> vm) : vm_(std::move(vm)) {}
-  static std::unique_ptr<Proc> Create() {
-    AddrSpace::Options options;
-    options.protocol = Protocol::kAdv;
-    return std::make_unique<Proc>(std::make_unique<VmSpace>(options));
-  }
-  std::unique_ptr<Proc> Fork() { return std::make_unique<Proc>(vm_->Fork()); }
-  VmSpace& vm() { return *vm_; }
-
-  const char* name() const override { return "proc"; }
-  Asid asid() const override { return vm_->asid(); }
-  PageTable& PageTableFor(CpuId) override { return vm_->addr_space().page_table(); }
-  void NoteCpuActive(CpuId cpu) override { vm_->addr_space().NoteCpuActive(cpu); }
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override {
-    return vm_->MmapAnon(len, perm);
-  }
-  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override {
-    return vm_->MmapAnonAt(va, len, perm);
-  }
-  VoidResult Munmap(Vaddr va, uint64_t len) override { return vm_->Munmap(va, len); }
-  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override {
-    return vm_->Mprotect(va, len, perm);
-  }
-  VoidResult HandleFault(Vaddr va, Access access) override {
-    return vm_->HandleFault(va, access);
-  }
-
- private:
-  std::unique_ptr<VmSpace> vm_;
-};
+// fork() is a first-class MmInterface operation, so the example drives
+// everything through the facade; CortenVm is only named to construct the
+// parent (and to read ResidentPages, a CortenMM-specific accounting hook).
+std::unique_ptr<CortenVm> MakeParent() {
+  AddrSpace::Options options;
+  options.protocol = Protocol::kAdv;
+  return std::make_unique<CortenVm>(options);
+}
 
 }  // namespace
 
@@ -64,10 +39,10 @@ int main() {
   constexpr uint64_t kConfigPages = 64;      // 256 KiB config file.
 
   // --- Parent: load config (private file mapping) + build template heap. ---
-  std::unique_ptr<Proc> parent = Proc::Create();
+  std::unique_ptr<CortenVm> parent = MakeParent();
 
   SimFile* config = FileRegistry::Instance().CreateFile(kConfigPages);
-  Result<Vaddr> config_va = parent->vm().MmapFilePrivate(
+  Result<Vaddr> config_va = parent->MmapFilePrivate(
       config, 0, kConfigPages * kPageSize, Perm::R());
   Result<Vaddr> heap = parent->MmapAnon(kHeapPages * kPageSize, Perm::RW());
   if (!config_va.ok() || !heap.ok()) {
@@ -91,7 +66,7 @@ int main() {
   // --- Fork the worker pool. Each fork is one whole-space transaction. ---
   uint64_t frames_before = GlobalStats().Total(Counter::kFramesAllocated) -
                            GlobalStats().Total(Counter::kFramesFreed);
-  std::vector<std::unique_ptr<Proc>> workers;
+  std::vector<std::unique_ptr<MmInterface>> workers;
   for (int w = 0; w < kWorkers; ++w) {
     workers.push_back(parent->Fork());
   }
@@ -105,7 +80,7 @@ int main() {
   // --- Workers serve requests: mostly reads, a few writes (COW copies). ---
   uint64_t cow_before = GlobalStats().Total(Counter::kCowFaults);
   for (int w = 0; w < kWorkers; ++w) {
-    Proc& worker = *workers[w];
+    MmInterface& worker = *workers[w];
     // Read the shared template (no copies)...
     uint64_t checksum = 0;
     for (uint64_t p = 0; p < kHeapPages; p += 4) {

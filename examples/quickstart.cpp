@@ -11,7 +11,7 @@
 
 #include "src/common/stats.h"
 #include "src/core/vm_space.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 
 using namespace cortenmm;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 #include "src/core/addr_space.h"  // DropFrameRef / AddFrameRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
@@ -170,6 +171,7 @@ void LinuxVmaMm::UnchargeAndLruDel(uint64_t pages) {
 // ---------------------------------------------------------------------------
 
 Result<Vaddr> LinuxVmaMm::MmapAnon(uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   if (len == 0) {
     return ErrCode::kInval;
   }
@@ -187,6 +189,7 @@ Result<Vaddr> LinuxVmaMm::MmapAnon(uint64_t len, Perm perm) {
 }
 
 VoidResult LinuxVmaMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -234,6 +237,7 @@ void LinuxVmaMm::DoMunmapLocked(VaRange range) {
 }
 
 VoidResult LinuxVmaMm::Munmap(Vaddr va, uint64_t len) {
+  ScopedOpTimer telemetry_timer(MmOp::kMunmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -247,6 +251,7 @@ VoidResult LinuxVmaMm::Munmap(Vaddr va, uint64_t len) {
 }
 
 VoidResult LinuxVmaMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMprotect);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -296,6 +301,7 @@ VoidResult LinuxVmaMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
 // ---------------------------------------------------------------------------
 
 VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
+  ScopedOpTimer telemetry_timer(MmOp::kFault);
   CountEvent(Counter::kPageFaults);
   NoteCpuActive(CurrentCpu());
   mmap_lock_.ReadLock();
@@ -389,7 +395,8 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
 // fork
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<LinuxVmaMm> LinuxVmaMm::Fork() {
+std::unique_ptr<MmInterface> LinuxVmaMm::Fork() {
+  ScopedOpTimer telemetry_timer(MmOp::kFork);
   auto child = std::make_unique<LinuxVmaMm>(options_);
   mmap_lock_.WriteLock();
   // Duplicate the VMA tree (the cheap enumeration Linux is good at, Fig. 20),

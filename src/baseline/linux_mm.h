@@ -20,6 +20,7 @@
 
 #include "src/baseline/vma_tree.h"
 #include "src/core/va_alloc.h"
+#include "src/pt/page_table.h"
 #include "src/sim/mm_interface.h"
 #include "src/common/cpu.h"
 #include "src/sync/spinlock.h"
@@ -60,7 +61,7 @@ class LinuxVmaMm final : public MmInterface {
   // fork() for the LMbench comparison (Figure 20): duplicates the VMA tree
   // (the cheap part Linux is good at) and COW-copies the page table within
   // each VMA's range only.
-  std::unique_ptr<LinuxVmaMm> Fork();
+  std::unique_ptr<MmInterface> Fork() override;
 
   size_t VmaCount();
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 #include "src/core/addr_space.h"  // DropFrameRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
@@ -126,6 +127,7 @@ void NrosMm::Append(LogOp op, CpuId cpu) {
 }
 
 Result<Vaddr> NrosMm::MmapAnon(uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   if (len == 0) {
     return ErrCode::kInval;
   }
@@ -142,6 +144,7 @@ Result<Vaddr> NrosMm::MmapAnon(uint64_t len, Perm perm) {
 }
 
 VoidResult NrosMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -168,6 +171,7 @@ VoidResult NrosMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
 }
 
 VoidResult NrosMm::Munmap(Vaddr va, uint64_t len) {
+  ScopedOpTimer telemetry_timer(MmOp::kMunmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -211,6 +215,7 @@ VoidResult NrosMm::Munmap(Vaddr va, uint64_t len) {
 }
 
 VoidResult NrosMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMprotect);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -230,6 +235,7 @@ VoidResult NrosMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
 }
 
 VoidResult NrosMm::HandleFault(Vaddr va, Access access) {
+  ScopedOpTimer telemetry_timer(MmOp::kFault);
   CountEvent(Counter::kPageFaults);
   CpuId cpu = CurrentCpu();
   NoteCpuActive(cpu);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/core/va_alloc.h"
+#include "src/pt/page_table.h"
 #include "src/sim/mm_interface.h"
 #include "src/sync/pfq_rwlock.h"
 #include "src/sync/spinlock.h"

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 #include "src/core/addr_space.h"  // DropFrameRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
@@ -190,6 +191,7 @@ void RadixVmMm::RemoveFromReplica(int replica_index, Vaddr va) {
 }
 
 Result<Vaddr> RadixVmMm::MmapAnon(uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   if (len == 0) {
     return ErrCode::kInval;
   }
@@ -206,6 +208,7 @@ Result<Vaddr> RadixVmMm::MmapAnon(uint64_t len, Perm perm) {
 }
 
 VoidResult RadixVmMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -219,6 +222,7 @@ VoidResult RadixVmMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
 }
 
 VoidResult RadixVmMm::Munmap(Vaddr va, uint64_t len) {
+  ScopedOpTimer telemetry_timer(MmOp::kMunmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -244,6 +248,7 @@ VoidResult RadixVmMm::Munmap(Vaddr va, uint64_t len) {
 }
 
 VoidResult RadixVmMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMprotect);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -268,6 +273,7 @@ VoidResult RadixVmMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
 }
 
 VoidResult RadixVmMm::HandleFault(Vaddr va, Access access) {
+  ScopedOpTimer telemetry_timer(MmOp::kFault);
   CountEvent(Counter::kPageFaults);
   CpuId cpu = CurrentCpu();
   NoteCpuActive(cpu);

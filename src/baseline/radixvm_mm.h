@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/core/va_alloc.h"
+#include "src/pt/page_table.h"
 #include "src/sim/mm_interface.h"
 #include "src/sync/spinlock.h"
 #include "src/tlb/shootdown.h"

@@ -19,8 +19,17 @@ using CpuId = int;
 // rebound). |cpu| must be in [0, kMaxCpus).
 void BindThisThreadToCpu(CpuId cpu);
 
-// Returns the calling thread's CPU id, auto-assigning one if unbound.
-CpuId CurrentCpu();
+namespace cpu_detail {
+extern thread_local CpuId tls_cpu;  // -1 until bound or auto-assigned.
+CpuId AssignAutoCpu();
+}  // namespace cpu_detail
+
+// Returns the calling thread's CPU id, auto-assigning one if unbound. Inline
+// fast path: per-CPU hot paths (stats, telemetry) call this per event.
+inline CpuId CurrentCpu() {
+  CpuId cpu = cpu_detail::tls_cpu;
+  return cpu >= 0 ? cpu : cpu_detail::AssignAutoCpu();
+}
 
 // Highest CPU id ever observed + 1; used to bound scans over per-CPU state.
 int OnlineCpuCount();

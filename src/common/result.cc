@@ -22,6 +22,8 @@ const char* ErrCodeName(ErrCode code) {
       return "BUSY";
     case ErrCode::kNoSpace:
       return "NOSPACE";
+    case ErrCode::kUnsupported:
+      return "UNSUPPORTED";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,7 @@ enum class ErrCode {
   kAgain,      // transient failure; retry
   kBusy,       // resource busy
   kNoSpace,    // virtual address space exhausted
+  kUnsupported,  // the manager does not implement this operation (Table 2)
 };
 
 const char* ErrCodeName(ErrCode code);

@@ -45,9 +45,12 @@ class StatsDomain {
         n, std::memory_order_relaxed);
   }
 
+  // Sums every slot, not just the online CPUs: Add() hashes the current CPU
+  // with `% kMaxCpus`, so aliased/high CPU ids land in slots an online-bounded
+  // scan would silently drop.
   uint64_t Total(Counter c) const {
     uint64_t sum = 0;
-    for (int cpu = 0; cpu < OnlineCpuCount() && cpu < kMaxCpus; ++cpu) {
+    for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
       sum += slots_[cpu].value.counters[static_cast<int>(c)].load(std::memory_order_relaxed);
     }
     return sum;

@@ -70,6 +70,15 @@ struct VaRange {
   friend constexpr bool operator==(const VaRange&, const VaRange&) = default;
 };
 
+// The kind of access a memory reference performs — what a page fault reports.
+// Lives here (not in the core layer) because the MM facade and the simulated
+// MMU both speak it without otherwise depending on core headers.
+enum class Access : uint8_t {
+  kRead,
+  kWrite,
+  kExec,
+};
+
 // Access permissions for a virtual page. These are *semantic* permissions;
 // the arch PTE codec translates them to hardware bits.
 struct Perm {

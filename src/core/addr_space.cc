@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
 #include "src/sync/rcu.h"
@@ -132,12 +133,20 @@ RCursor::~RCursor() {
     space_->TlbFlush(flush_range_,
                      std::vector<Pfn>(dead_frames_.begin(), dead_frames_.end()));
   }
+  if (pages_touched_ != 0) {
+    Telemetry::Instance().Trace(TraceKind::kPagesTouched, pages_touched_,
+                                covering_level_);
+  }
   Release();
 }
 
 // CortenMM_rw (Figure 5): hand-over-hand read locks to the covering PT page,
 // which is write-locked.
 void RCursor::AcquireRw() {
+  // The whole descent (read locks + the covering write lock) is one phase.
+  // Sampled: an uncontended acquisition is tens of nanoseconds.
+  const bool sampled = AcquireSampler::Sample();
+  ScopedPhaseTimer descent_timer(LockPhase::kRwDescent, sampled);
   PageTable& pt = space_->page_table();
   PhysMem& mem = PhysMem::Instance();
   Pfn cur = pt.root();
@@ -148,6 +157,9 @@ void RCursor::AcquireRw() {
       mem.Descriptor(cur).rw.WriteLock();
       covering_ = cur;
       covering_level_ = level;
+      if (sampled) {
+        Telemetry::Instance().Trace(TraceKind::kAcquireEnd, 0, covering_level_);
+      }
       return;
     }
     BravoRwLock::ReadCookie cookie = mem.Descriptor(cur).rw.ReadLock();
@@ -165,6 +177,9 @@ void RCursor::AcquireRw() {
     mem.Descriptor(cur).rw.WriteLock();
     covering_ = cur;
     covering_level_ = level;
+    if (sampled) {
+      Telemetry::Instance().Trace(TraceKind::kAcquireEnd, 0, covering_level_);
+    }
     return;
   }
 }
@@ -176,27 +191,40 @@ void RCursor::AcquireAdv() {
   PageTable& pt = space_->page_table();
   PhysMem& mem = PhysMem::Instance();
   Rcu& rcu = Rcu::Instance();
+  // One sampling decision covers all three phases of this acquisition, so a
+  // sampled acquisition contributes to every phase histogram consistently.
+  const bool sampled = AcquireSampler::Sample();
   for (;;) {  // Retry loop (Figure 6 L2).
     rcu.ReadLock();
     Pfn cur = pt.root();
     int level = kPtLevels;
-    while (ChildShouldCover(level, range_)) {
-      Pte pte = pt.LoadEntry(cur, PtIndex(range_.start, level));
-      if (!PteIsPresent(pt.arch(), pte) || PteIsLeaf(pt.arch(), pte, level)) {
-        break;
+    {
+      ScopedPhaseTimer traversal_timer(LockPhase::kAdvRcuTraversal, sampled);
+      while (ChildShouldCover(level, range_)) {
+        Pte pte = pt.LoadEntry(cur, PtIndex(range_.start, level));
+        if (!PteIsPresent(pt.arch(), pte) || PteIsLeaf(pt.arch(), pte, level)) {
+          break;
+        }
+        cur = PtePfn(pt.arch(), pte);
+        --level;
       }
-      cur = PtePfn(pt.arch(), pte);
-      --level;
     }
     McsNode* node = McsNodePool::Get();
-    mem.Descriptor(cur).mcs.Lock(node);
-    if (mem.Descriptor(cur).stale.load(std::memory_order_acquire)) {
+    bool stale;
+    {
+      ScopedPhaseTimer mcs_timer(LockPhase::kMcsAcquire, sampled);
+      mem.Descriptor(cur).mcs.Lock(node);
+      stale = mem.Descriptor(cur).stale.load(std::memory_order_acquire);
+    }
+    if (stale) {
       // Raced with an unmap that removed this PT page: retry (Figure 6 L10).
       mem.Descriptor(cur).mcs.Unlock(node);
       McsNodePool::Put(node);
       rcu.ReadUnlock();
       ++acquire_retries_;
       CountEvent(Counter::kLockRetries);
+      Telemetry::Instance().Trace(TraceKind::kAcquireRetry,
+                                  static_cast<uint64_t>(acquire_retries_));
       continue;
     }
     rcu.ReadUnlock();
@@ -245,8 +273,17 @@ void RCursor::AcquireAdv() {
 
     covering_ = cur;
     covering_level_ = level;
-    // Locking phase: preorder DFS over all existing descendants (L17).
-    AdvDfsLockSubtree(cur, level);
+    {
+      // Locking phase: preorder DFS over all existing descendants (L17).
+      // Only the top-level call is timed — the phase covers the whole DFS.
+      ScopedPhaseTimer dfs_timer(LockPhase::kDfsSubtreeLock, sampled);
+      AdvDfsLockSubtree(cur, level);
+    }
+    if (sampled) {
+      Telemetry::Instance().Trace(TraceKind::kAcquireEnd,
+                                  static_cast<uint64_t>(acquire_retries_),
+                                  covering_level_);
+    }
     return;
   }
 }

@@ -200,6 +200,9 @@ class RCursor {
   SmallVec<Pfn, 8> dead_frames_;
 
   int acquire_retries_ = 0;
+  // Leaf pages (un)mapped under this cursor; reported to the telemetry trace
+  // ring on release as one kPagesTouched event per transaction.
+  uint64_t pages_touched_ = 0;
 };
 
 class AddrSpace {

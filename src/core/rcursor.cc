@@ -131,6 +131,7 @@ void RCursor::ClearLeaf(Pfn pt_page, int level, uint64_t index, Vaddr va) {
     // The reference is dropped only after the TLB shootdown completes.
     dead_frames_.push_back(head + f);
   }
+  pages_touched_ += frames;
   NoteFlush(VaRange(va, va + PtEntrySpan(level)));
 }
 
@@ -205,6 +206,7 @@ VoidResult RCursor::MapHuge(Vaddr addr, Pfn pfn, Perm perm, int level) {
   for (uint64_t f = 0; f < frames; ++f) {
     mem.Descriptor(pfn + f).mapcount.fetch_add(1, std::memory_order_acq_rel);
   }
+  pages_touched_ += frames;
   // Record the reverse mapping on the head frame (hint; see paper §4.5).
   {
     PageDescriptor& head = mem.Descriptor(pfn);

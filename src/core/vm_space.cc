@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
 
@@ -54,6 +55,7 @@ VmSpace::~VmSpace() {
 // ---------------------------------------------------------------------------
 
 Result<Vaddr> VmSpace::MmapAnon(uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   Result<Vaddr> va = space_.AllocVa(len);
   if (!va.ok()) {
     return va;
@@ -67,6 +69,7 @@ Result<Vaddr> VmSpace::MmapAnon(uint64_t len, Perm perm) {
 }
 
 VoidResult VmSpace::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -81,6 +84,7 @@ VoidResult VmSpace::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
 
 Result<Vaddr> VmSpace::MmapFilePrivate(SimFile* file, uint32_t first_page, uint64_t len,
                                        Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmapFile);
   if (file == nullptr || len == 0) {
     return ErrCode::kInval;
   }
@@ -105,6 +109,7 @@ Result<Vaddr> VmSpace::MmapFilePrivate(SimFile* file, uint32_t first_page, uint6
 
 Result<Vaddr> VmSpace::MmapShared(SimFile* object, uint32_t first_page, uint64_t len,
                                   Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMmapFile);
   if (object == nullptr || len == 0) {
     return ErrCode::kInval;
   }
@@ -128,6 +133,7 @@ Result<Vaddr> VmSpace::MmapShared(SimFile* object, uint32_t first_page, uint64_t
 }
 
 VoidResult VmSpace::Munmap(Vaddr va, uint64_t len) {
+  ScopedOpTimer telemetry_timer(MmOp::kMunmap);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -147,6 +153,7 @@ VoidResult VmSpace::Munmap(Vaddr va, uint64_t len) {
 }
 
 VoidResult VmSpace::Mprotect(Vaddr va, uint64_t len, Perm perm) {
+  ScopedOpTimer telemetry_timer(MmOp::kMprotect);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -157,6 +164,7 @@ VoidResult VmSpace::Mprotect(Vaddr va, uint64_t len, Perm perm) {
 }
 
 VoidResult VmSpace::Msync(Vaddr va, uint64_t len) {
+  ScopedOpTimer telemetry_timer(MmOp::kMsync);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -171,6 +179,7 @@ VoidResult VmSpace::Msync(Vaddr va, uint64_t len) {
 }
 
 VoidResult VmSpace::PkeyMprotect(Vaddr va, uint64_t len, int pkey) {
+  ScopedOpTimer telemetry_timer(MmOp::kPkeyMprotect);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -263,6 +272,7 @@ VoidResult VmSpace::FaultInPage(RCursor& cursor, Vaddr page_va, const Status& st
 }
 
 VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
+  ScopedOpTimer telemetry_timer(MmOp::kFault);
   CountEvent(Counter::kPageFaults);
   space_.NoteCpuActive(CurrentCpu());
   Vaddr page_va = AlignDown(va, kPageSize);
@@ -328,6 +338,7 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
 // ---------------------------------------------------------------------------
 
 Result<uint64_t> VmSpace::SwapOut(Vaddr va, uint64_t len) {
+  ScopedOpTimer telemetry_timer(MmOp::kSwapOut);
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -379,6 +390,7 @@ Result<uint64_t> VmSpace::SwapOut(Vaddr va, uint64_t len) {
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<VmSpace> VmSpace::Fork() {
+  ScopedOpTimer telemetry_timer(MmOp::kFork);
   auto child = std::make_unique<VmSpace>(space_.options());
   VaRange everything(0, kVaLimit);
 

@@ -12,11 +12,7 @@
 
 namespace cortenmm {
 
-enum class Access : uint8_t {
-  kRead,
-  kWrite,
-  kExec,
-};
+// Access (the fault-kind enum) lives in src/common/types.h.
 
 class VmSpace {
  public:

@@ -1,0 +1,412 @@
+// Telemetry: the observability layer behind the paper's time-attribution
+// figures (14, 16, 17, 20). Three pieces:
+//
+//   * LatencyHistogram — log2-bucketed nanosecond histograms, one slot per
+//     CPU, recording every MM entry point (MmOp) and every lock-protocol
+//     phase (LockPhase: rw descent, adv RCU traversal, MCS acquire, DFS
+//     subtree lock, TLB shootdown wait, ...). Merging and percentile math
+//     happen off the hot path.
+//   * TraceRing — a fixed-size per-CPU ring of transaction events (acquire
+//     end + retries + covering level, shootdown batch sizes, BRAVO
+//     revocations). Writers pay one timestamp and a few relaxed stores; a
+//     post-hoc merger sorts all CPUs' events by timestamp.
+//   * Telemetry::DumpJson — a JSON snapshot (histogram percentiles, counters,
+//     trace accounting) that benches append to BENCH_*.json via TelemetrySink.
+//
+// Hot-path cost: timestamps use rdtsc where available (calibrated once
+// against steady_clock); recording is a relaxed fetch_add on a per-CPU cache
+// line. Building with -DCORTENMM_TELEMETRY=0 compiles every probe to a no-op
+// with zero data footprint.
+#ifndef SRC_OBS_TELEMETRY_H_
+#define SRC_OBS_TELEMETRY_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/cpu.h"
+
+#ifndef CORTENMM_TELEMETRY
+#define CORTENMM_TELEMETRY 1
+#endif
+
+namespace cortenmm {
+
+// MM entry points, one histogram each (the facade's operation set).
+enum class MmOp : int {
+  kMmap = 0,      // MmapAnon / MmapAnonAt
+  kMunmap,
+  kMprotect,
+  kFault,         // HandleFault
+  kMmapFile,      // MmapFilePrivate / MmapShared
+  kMsync,
+  kPkeyMprotect,
+  kSwapOut,
+  kFork,
+  kCount,
+};
+
+// Lock-protocol and reclamation phases, one histogram each.
+enum class LockPhase : int {
+  kRwDescent = 0,       // kRw: hand-over-hand BRAVO read descent + covering write lock
+  kAdvRcuTraversal,     // kAdv: lock-free traversal inside the RCU read section
+  kMcsAcquire,          // kAdv: MCS lock on the covering candidate (incl. stale retries)
+  kDfsSubtreeLock,      // kAdv: preorder DFS over existing descendants
+  kShootdownWait,       // TLB shootdown issue-to-done (initiator side)
+  kBravoRevocation,     // BRAVO writer bias-revocation scan
+  kRcuSynchronize,      // RCU grace-period waits
+  kCount,
+};
+
+const char* MmOpName(MmOp op);
+const char* LockPhaseName(LockPhase phase);
+
+// Transaction-event kinds recorded in the trace ring.
+enum class TraceKind : int {
+  kAcquireEnd = 0,  // arg0 = stale retries, arg1 = covering PT level
+  kAcquireRetry,    // arg0 = retry ordinal
+  kPagesTouched,    // arg0 = pages mutated by the transaction, arg1 = covering level
+  kShootdown,       // arg0 = batch size (frames), arg1 = target CPU count
+  kBravoRevoke,     // arg0 = scan nanoseconds
+  kOpEnd,           // arg0 = MmOp, arg1 = latency ns
+  kCount,
+};
+
+const char* TraceKindName(TraceKind kind);
+
+namespace obs_detail {
+// TSC→ns multiplier: 0 until calibrated, negative when the TSC is unusable.
+extern std::atomic<double> g_tsc_ns_per_tick;
+// Calibrates on first call; steady_clock when the TSC is unusable.
+uint64_t SlowNowNanos();
+}  // namespace obs_detail
+
+// Monotonic nanoseconds for telemetry timestamps: rdtsc scaled by a
+// once-calibrated ratio on x86-64, steady_clock elsewhere. Inline fast path —
+// probes call this twice per timed section.
+inline uint64_t TelemetryNowNanos() {
+#if defined(__x86_64__)
+  double r = obs_detail::g_tsc_ns_per_tick.load(std::memory_order_relaxed);
+  if (r > 0) {
+    return static_cast<uint64_t>(
+        static_cast<double>(__builtin_ia32_rdtsc()) * r);
+  }
+#endif
+  return obs_detail::SlowNowNanos();
+}
+
+// Number of log2 buckets: bucket b holds samples in [2^b, 2^(b+1)) ns
+// (bucket 0 also absorbs 0 ns); 2^47 ns ≈ 39 hours tops out any latency.
+inline constexpr int kLatencyBuckets = 48;
+
+#if CORTENMM_TELEMETRY
+
+class LatencyHistogram;
+
+// A plain (non-atomic) copy of histogram state: what merging per-CPU slots
+// produces and what the percentile/reporting math runs on.
+struct HistogramSnapshot {
+  uint64_t counts[kLatencyBuckets] = {};
+  uint64_t sum_ns = 0;
+  uint64_t max_ns = 0;
+
+  void Merge(const LatencyHistogram& other);
+  uint64_t TotalCount() const;
+  // Nanoseconds below which fraction |p| (0 < p <= 1) of samples fall,
+  // linearly interpolated inside the winning bucket. 0 if empty.
+  uint64_t Percentile(double p) const;
+};
+
+// A single log2-bucketed latency histogram. Thread-safe via relaxed atomics;
+// intended use is one instance per CPU so contention is nil.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = kLatencyBuckets;
+
+  static int BucketFor(uint64_t ns) {
+    return ns < 2 ? 0 : std::min(63 - __builtin_clzll(ns), kBuckets - 1);
+  }
+  static uint64_t BucketLowerBound(int bucket) { return 1ull << bucket; }
+
+  void Record(uint64_t ns) {
+    counts_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (ns > prev &&
+           !max_ns_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Reset();
+
+  uint64_t TotalCount() const;
+  uint64_t SumNanos() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t MaxNanos() const { return max_ns_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int bucket) const {
+    return counts_[bucket].load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    snap.Merge(*this);
+    return snap;
+  }
+  uint64_t Percentile(double p) const { return Snapshot().Percentile(p); }
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+// One trace event. 32 bytes so a ring slot is two cache lines per four events.
+struct TraceEvent {
+  uint64_t ns = 0;       // TelemetryNowNanos() at record time.
+  uint32_t cpu = 0;
+  TraceKind kind = TraceKind::kAcquireEnd;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+// Per-CPU fixed-capacity ring. Overwrites the oldest events when full and
+// counts how many were lost; MergeSorted() returns the surviving events of
+// all CPUs ordered by timestamp.
+class TraceRing {
+ public:
+  static constexpr uint64_t kCapacity = 1024;  // Per CPU.
+
+  void Record(TraceKind kind, uint64_t arg0, uint64_t arg1) {
+    Cpu& c = cpus_[CurrentCpu() % kMaxCpus].value;
+    uint64_t slot = c.head.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent& e = c.events[slot % kCapacity];
+    e.ns = TelemetryNowNanos();
+    e.cpu = static_cast<uint32_t>(CurrentCpu());
+    e.kind = kind;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+  }
+
+  // Total events ever recorded / lost to overwriting, across all CPUs.
+  uint64_t Recorded() const;
+  uint64_t Dropped() const;
+
+  std::vector<TraceEvent> MergeSorted() const;
+  void Reset();
+
+ private:
+  struct Cpu {
+    std::atomic<uint64_t> head{0};  // Total records; head % kCapacity = next slot.
+    TraceEvent events[kCapacity];
+  };
+  CacheAligned<Cpu> cpus_[kMaxCpus];
+};
+
+class Telemetry {
+ public:
+  static Telemetry& Instance();
+
+  void RecordOp(MmOp op, uint64_t ns) {
+    cpus_[CurrentCpu() % kMaxCpus].value.ops[static_cast<int>(op)].Record(ns);
+  }
+  void RecordPhase(LockPhase phase, uint64_t ns) {
+    cpus_[CurrentCpu() % kMaxCpus].value.phases[static_cast<int>(phase)].Record(ns);
+  }
+  void Trace(TraceKind kind, uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    trace_.Record(kind, arg0, arg1);
+  }
+
+  // Merged (all-CPU) views, for reporting.
+  HistogramSnapshot MergedOp(MmOp op) const;
+  HistogramSnapshot MergedPhase(LockPhase phase) const;
+  TraceRing& trace() { return trace_; }
+
+  void Reset();
+
+  // One JSON snapshot object: {"label": ..., "ops": {...}, "phases": {...},
+  // "counters": {...}, "trace": {...}}. Histograms report count/p50/p99/
+  // mean/max in nanoseconds; empty histograms are omitted.
+  std::string DumpJson(const std::string& label) const;
+
+ private:
+  Telemetry() = default;
+
+  struct Cpu {
+    LatencyHistogram ops[static_cast<int>(MmOp::kCount)];
+    LatencyHistogram phases[static_cast<int>(LockPhase::kCount)];
+  };
+  CacheAligned<Cpu> cpus_[kMaxCpus];
+  TraceRing trace_;
+};
+
+// RAII probe for an MM entry point.
+class ScopedOpTimer {
+ public:
+  // Only the outermost timer on a thread records: MM entry points delegate to
+  // one another (MmapAnon -> MmapAnonAt, Fork -> mmap paths), and each call
+  // through the facade must count as one sample, not one per layer.
+  explicit ScopedOpTimer(MmOp op) : op_(op), outermost_(depth_++ == 0) {
+    if (outermost_) {
+      start_ = TelemetryNowNanos();
+    }
+  }
+  ~ScopedOpTimer() {
+    --depth_;
+    if (outermost_) {
+      Telemetry::Instance().RecordOp(op_, TelemetryNowNanos() - start_);
+    }
+  }
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+ private:
+  static thread_local int depth_;
+  MmOp op_;
+  bool outermost_;
+  uint64_t start_ = 0;
+};
+
+// RAII probe for a lock-protocol phase. |enabled| = false skips both
+// timestamps, so sampled call sites pay only the flag check.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(LockPhase phase, bool enabled = true)
+      : phase_(phase), enabled_(enabled),
+        start_(enabled ? TelemetryNowNanos() : 0) {}
+  ~ScopedPhaseTimer() {
+    if (enabled_) {
+      Telemetry::Instance().RecordPhase(phase_, TelemetryNowNanos() - start_);
+    }
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  LockPhase phase_;
+  bool enabled_;
+  uint64_t start_;
+};
+
+// 1-in-kEvery per-thread sampling decision for the acquisition-path probes:
+// a lock acquisition is tens of nanoseconds, so timing every one would
+// dominate it. The first call on each thread samples, making single-shot
+// unit tests deterministic. Heavyweight phases (shootdown, RCU grace
+// periods, BRAVO revocation) are recorded unsampled.
+class AcquireSampler {
+ public:
+  static constexpr uint32_t kEvery = 32;
+  static bool Sample() { return (counter_++ % kEvery) == 0; }
+
+ private:
+  static thread_local uint32_t counter_;
+};
+
+#else  // !CORTENMM_TELEMETRY — every probe compiles to nothing.
+
+class LatencyHistogram;
+
+struct HistogramSnapshot {
+  void Merge(const LatencyHistogram&) {}
+  uint64_t TotalCount() const { return 0; }
+  uint64_t Percentile(double) const { return 0; }
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = kLatencyBuckets;
+  static int BucketFor(uint64_t) { return 0; }
+  static uint64_t BucketLowerBound(int) { return 0; }
+  void Record(uint64_t) {}
+  void Reset() {}
+  uint64_t TotalCount() const { return 0; }
+  uint64_t SumNanos() const { return 0; }
+  uint64_t MaxNanos() const { return 0; }
+  uint64_t BucketCount(int) const { return 0; }
+  HistogramSnapshot Snapshot() const { return {}; }
+  uint64_t Percentile(double) const { return 0; }
+};
+
+struct TraceEvent {
+  uint64_t ns = 0;
+  uint32_t cpu = 0;
+  TraceKind kind = TraceKind::kAcquireEnd;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+class TraceRing {
+ public:
+  static constexpr uint64_t kCapacity = 0;
+  void Record(TraceKind, uint64_t, uint64_t) {}
+  uint64_t Recorded() const { return 0; }
+  uint64_t Dropped() const { return 0; }
+  std::vector<TraceEvent> MergeSorted() const { return {}; }
+  void Reset() {}
+};
+
+class Telemetry {
+ public:
+  static Telemetry& Instance() {
+    static Telemetry t;
+    return t;
+  }
+  void RecordOp(MmOp, uint64_t) {}
+  void RecordPhase(LockPhase, uint64_t) {}
+  void Trace(TraceKind, uint64_t = 0, uint64_t = 0) {}
+  HistogramSnapshot MergedOp(MmOp) const { return {}; }
+  HistogramSnapshot MergedPhase(LockPhase) const { return {}; }
+  TraceRing& trace() { return trace_; }
+  void Reset() {}
+  std::string DumpJson(const std::string&) const { return "{}"; }
+
+ private:
+  TraceRing trace_;
+};
+
+class ScopedOpTimer {
+ public:
+  explicit ScopedOpTimer(MmOp) {}
+};
+
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(LockPhase, bool = true) {}
+};
+
+class AcquireSampler {
+ public:
+  static constexpr uint32_t kEvery = 32;
+  static bool Sample() { return false; }
+};
+
+#endif  // CORTENMM_TELEMETRY
+
+// Accumulates labelled Telemetry snapshots and writes them as one JSON
+// document, so every bench emits a machine-readable BENCH_<name>.json next to
+// its stdout tables. The output path defaults to BENCH_<name>.json in the
+// working directory; the CORTENMM_TELEMETRY_JSON environment variable
+// overrides it. With telemetry compiled out the file records only
+// {"telemetry": "disabled"}.
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(const std::string& bench_name);
+  ~TelemetrySink();  // Writes the file.
+
+  // Captures the current Telemetry state under |label| and resets it so the
+  // next snapshot starts clean.
+  void Snapshot(const std::string& label);
+
+  // Writes the document now (also called by the destructor). Returns the
+  // path written, empty on failure.
+  std::string Write();
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> snapshots_;
+  bool written_ = false;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_OBS_TELEMETRY_H_

@@ -9,6 +9,7 @@
 #include "src/pmm/phys_mem.h"
 #include "src/baseline/nros_mm.h"
 #include "src/baseline/radixvm_mm.h"
+#include "src/sim/corten_vm.h"
 
 namespace cortenmm {
 
@@ -212,6 +213,33 @@ VoidResult TimingMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
 VoidResult TimingMm::HandleFault(Vaddr va, Access access) {
   ScopedNanos timer(&nanos_[CurrentCpu()].value);
   return inner_->HandleFault(va, access);
+}
+
+Result<Vaddr> TimingMm::MmapFilePrivate(SimFile* file, uint32_t first_page,
+                                        uint64_t len, Perm perm) {
+  ScopedNanos timer(&nanos_[CurrentCpu()].value);
+  return inner_->MmapFilePrivate(file, first_page, len, perm);
+}
+
+Result<Vaddr> TimingMm::MmapShared(SimFile* object, uint32_t first_page,
+                                   uint64_t len, Perm perm) {
+  ScopedNanos timer(&nanos_[CurrentCpu()].value);
+  return inner_->MmapShared(object, first_page, len, perm);
+}
+
+VoidResult TimingMm::Msync(Vaddr va, uint64_t len) {
+  ScopedNanos timer(&nanos_[CurrentCpu()].value);
+  return inner_->Msync(va, len);
+}
+
+VoidResult TimingMm::PkeyMprotect(Vaddr va, uint64_t len, int pkey) {
+  ScopedNanos timer(&nanos_[CurrentCpu()].value);
+  return inner_->PkeyMprotect(va, len, pkey);
+}
+
+Result<uint64_t> TimingMm::SwapOut(Vaddr va, uint64_t len) {
+  ScopedNanos timer(&nanos_[CurrentCpu()].value);
+  return inner_->SwapOut(va, len);
 }
 
 uint64_t TimingMm::KernelNanos() const {

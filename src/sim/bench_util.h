@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/pt/arch.h"
 #include "src/sim/mm_interface.h"
 
 namespace cortenmm {
@@ -76,11 +77,22 @@ class TimingMm final : public MmInterface {
   uint64_t PtBytes() override { return inner_->PtBytes(); }
   uint64_t MetaBytes() override { return inner_->MetaBytes(); }
 
+  uint32_t Pkru() const override { return inner_->Pkru(); }
+
   Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
   VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
   VoidResult Munmap(Vaddr va, uint64_t len) override;
   VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
   VoidResult HandleFault(Vaddr va, Access access) override;
+  Result<Vaddr> MmapFilePrivate(SimFile* file, uint32_t first_page, uint64_t len,
+                                Perm perm) override;
+  Result<Vaddr> MmapShared(SimFile* object, uint32_t first_page, uint64_t len,
+                           Perm perm) override;
+  VoidResult Msync(Vaddr va, uint64_t len) override;
+  VoidResult PkeyMprotect(Vaddr va, uint64_t len, int pkey) override;
+  Result<uint64_t> SwapOut(Vaddr va, uint64_t len) override;
+  // Note: the forked child is the inner manager's child, untimed.
+  std::unique_ptr<MmInterface> Fork() override { return inner_->Fork(); }
 
   // Total nanoseconds spent in MM entry points, across all threads.
   uint64_t KernelNanos() const;

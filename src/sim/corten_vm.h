@@ -1,0 +1,74 @@
+// Adapter exposing a CortenMM VmSpace through the MmInterface facade. Split
+// out of mm_interface.h so the facade header itself stays free of core-layer
+// includes: only code that *instantiates* CortenMM pulls in VmSpace.
+#ifndef SRC_SIM_CORTEN_VM_H_
+#define SRC_SIM_CORTEN_VM_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/core/vm_space.h"
+#include "src/sim/mm_interface.h"
+
+namespace cortenmm {
+
+class CortenVm final : public MmInterface {
+ public:
+  explicit CortenVm(const AddrSpace::Options& options)
+      : vm_(std::make_unique<VmSpace>(options)) {}
+  // Wraps an existing space (how Fork() returns children through the facade).
+  explicit CortenVm(std::unique_ptr<VmSpace> vm) : vm_(std::move(vm)) {}
+
+  VmSpace& vm() { return *vm_; }
+
+  const char* name() const override {
+    return ProtocolName(vm_->addr_space().options().protocol);
+  }
+  Asid asid() const override { return vm_->asid(); }
+  PageTable& PageTableFor(CpuId) override { return vm_->addr_space().page_table(); }
+  void NoteCpuActive(CpuId cpu) override { vm_->addr_space().NoteCpuActive(cpu); }
+
+  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override {
+    return vm_->MmapAnon(len, perm);
+  }
+  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override {
+    return vm_->MmapAnonAt(va, len, perm);
+  }
+  VoidResult Munmap(Vaddr va, uint64_t len) override { return vm_->Munmap(va, len); }
+  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override {
+    return vm_->Mprotect(va, len, perm);
+  }
+  VoidResult HandleFault(Vaddr va, Access access) override {
+    return vm_->HandleFault(va, access);
+  }
+
+  Result<Vaddr> MmapFilePrivate(SimFile* file, uint32_t first_page, uint64_t len,
+                                Perm perm) override {
+    return vm_->MmapFilePrivate(file, first_page, len, perm);
+  }
+  Result<Vaddr> MmapShared(SimFile* object, uint32_t first_page, uint64_t len,
+                           Perm perm) override {
+    return vm_->MmapShared(object, first_page, len, perm);
+  }
+  VoidResult Msync(Vaddr va, uint64_t len) override { return vm_->Msync(va, len); }
+  VoidResult PkeyMprotect(Vaddr va, uint64_t len, int pkey) override {
+    return vm_->PkeyMprotect(va, len, pkey);
+  }
+  Result<uint64_t> SwapOut(Vaddr va, uint64_t len) override {
+    return vm_->SwapOut(va, len);
+  }
+  std::unique_ptr<MmInterface> Fork() override {
+    return std::make_unique<CortenVm>(vm_->Fork());
+  }
+
+  uint32_t Pkru() const override { return vm_->addr_space().pkru(); }
+  uint64_t PtBytes() override { return vm_->addr_space().PtBytes(); }
+  uint64_t MetaBytes() override { return vm_->addr_space().MetaBytes(); }
+
+ private:
+  std::unique_ptr<VmSpace> vm_;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_SIM_CORTEN_VM_H_

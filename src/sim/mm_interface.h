@@ -1,18 +1,28 @@
 // The facade every evaluated memory manager implements, so the benchmark
 // harness and the simulated MMU can drive CortenMM (rw/adv), the Linux-style
 // VMA baseline, RadixVM-style and NrOS-style managers uniformly.
+//
+// The facade carries the *complete* operation set of the paper's Table 2.
+// Operations a manager does not implement default to kUnsupported (Fork to
+// nullptr), so capability gaps are data — a bench probes the facade instead
+// of downcasting to concrete manager types. This header deliberately depends
+// only on common/ + the two leaf types it hands out (PageTable, Asid);
+// the CortenMM adapter lives in src/sim/corten_vm.h.
 #ifndef SRC_SIM_MM_INTERFACE_H_
 #define SRC_SIM_MM_INTERFACE_H_
 
 #include <cstdint>
+#include <memory>
 
+#include "src/common/cpu.h"
 #include "src/common/result.h"
 #include "src/common/types.h"
-#include "src/core/vm_space.h"
-#include "src/pt/page_table.h"
 #include "src/tlb/tlb.h"
 
 namespace cortenmm {
+
+class PageTable;
+class SimFile;
 
 class MmInterface {
  public:
@@ -27,12 +37,38 @@ class MmInterface {
 
   virtual void NoteCpuActive(CpuId cpu) = 0;
 
-  // --- MM operations -----------------------------------------------------
+  // --- MM operations (all managers) ---------------------------------------
   virtual Result<Vaddr> MmapAnon(uint64_t len, Perm perm) = 0;
   virtual VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) = 0;
   virtual VoidResult Munmap(Vaddr va, uint64_t len) = 0;
   virtual VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) = 0;
   virtual VoidResult HandleFault(Vaddr va, Access access) = 0;
+
+  // --- MM operations (capability-gated, paper Table 2) ---------------------
+  // Private file mapping: reads come from the page cache (COW on write).
+  virtual Result<Vaddr> MmapFilePrivate(SimFile* file, uint32_t first_page,
+                                        uint64_t len, Perm perm) {
+    return ErrCode::kUnsupported;
+  }
+  // Shared mapping of a file or of a kernel-named anonymous segment.
+  virtual Result<Vaddr> MmapShared(SimFile* object, uint32_t first_page,
+                                   uint64_t len, Perm perm) {
+    return ErrCode::kUnsupported;
+  }
+  // Writes dirty pages of shared file mappings back.
+  virtual VoidResult Msync(Vaddr va, uint64_t len) { return ErrCode::kUnsupported; }
+  // Intel MPK: pkey_mprotect(2) analog.
+  virtual VoidResult PkeyMprotect(Vaddr va, uint64_t len, int pkey) {
+    return ErrCode::kUnsupported;
+  }
+  // Evicts resident exclusive anonymous pages to the swap device; returns the
+  // number of pages swapped out.
+  virtual Result<uint64_t> SwapOut(Vaddr va, uint64_t len) {
+    return ErrCode::kUnsupported;
+  }
+  // fork(): duplicates every mapping into a new manager of the same kind;
+  // private writable pages become COW in both. nullptr when unsupported.
+  virtual std::unique_ptr<MmInterface> Fork() { return nullptr; }
 
   // --- Capability flags (paper Table 2) -----------------------------------
   virtual bool demand_paging() const { return true; }
@@ -43,42 +79,6 @@ class MmInterface {
   // --- Accounting (Figure 22) ----------------------------------------------
   virtual uint64_t PtBytes() { return 0; }
   virtual uint64_t MetaBytes() { return 0; }
-};
-
-// Adapter exposing a CortenMM VmSpace through the facade.
-class CortenVm final : public MmInterface {
- public:
-  explicit CortenVm(const AddrSpace::Options& options) : vm_(options) {}
-
-  VmSpace& vm() { return vm_; }
-
-  const char* name() const override {
-    return ProtocolName(vm_.addr_space().options().protocol);
-  }
-  Asid asid() const override { return vm_.asid(); }
-  PageTable& PageTableFor(CpuId) override { return vm_.addr_space().page_table(); }
-  void NoteCpuActive(CpuId cpu) override { vm_.addr_space().NoteCpuActive(cpu); }
-
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override {
-    return vm_.MmapAnon(len, perm);
-  }
-  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override {
-    return vm_.MmapAnonAt(va, len, perm);
-  }
-  VoidResult Munmap(Vaddr va, uint64_t len) override { return vm_.Munmap(va, len); }
-  VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override {
-    return vm_.Mprotect(va, len, perm);
-  }
-  VoidResult HandleFault(Vaddr va, Access access) override {
-    return vm_.HandleFault(va, access);
-  }
-
-  uint32_t Pkru() const override { return vm_.addr_space().pkru(); }
-  uint64_t PtBytes() override { return vm_.addr_space().PtBytes(); }
-  uint64_t MetaBytes() override { return vm_.addr_space().MetaBytes(); }
-
- private:
-  VmSpace vm_;
 };
 
 }  // namespace cortenmm

@@ -5,6 +5,7 @@
 
 #include "src/common/stats.h"
 #include "src/pmm/phys_mem.h"
+#include "src/pt/page_table.h"
 #include "src/tlb/shootdown.h"
 
 namespace cortenmm {

@@ -6,6 +6,7 @@
 #include "src/common/backoff.h"
 #include "src/common/cpu.h"
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 
 namespace cortenmm {
 
@@ -86,6 +87,9 @@ void BravoRwLock::WriteLock() {
     inhibit_until_ns_.store(scan_end + 9 * (scan_end - scan_start + 1),
                             std::memory_order_relaxed);
     CountEvent(Counter::kBravoSlowdowns);
+    Telemetry::Instance().RecordPhase(LockPhase::kBravoRevocation,
+                                      scan_end - scan_start);
+    Telemetry::Instance().Trace(TraceKind::kBravoRevoke, scan_end - scan_start);
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/common/backoff.h"
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 
 namespace cortenmm {
 namespace {
@@ -49,6 +50,7 @@ uint64_t Rcu::MinActiveEpoch() const {
 }
 
 void Rcu::Synchronize() {
+  ScopedPhaseTimer telemetry_timer(LockPhase::kRcuSynchronize);
   uint64_t target = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   SpinBackoff backoff;
   while (MinActiveEpoch() < target) {

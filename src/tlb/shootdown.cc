@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/obs/telemetry.h"
 
 namespace cortenmm {
 
@@ -58,8 +59,12 @@ void TlbSystem::FinishEntry(LatrEntry* entry) {
 void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPolicy policy,
                           std::vector<Pfn> frames, FrameFreer freer) {
   CountEvent(Counter::kTlbShootdowns);
+  // Initiator-side wait: for kSync/kEarlyAck this covers the full remote
+  // invalidation sweep; for kLatr only the local flush + buffer publish.
+  ScopedPhaseTimer telemetry_timer(LockPhase::kShootdownWait);
   CpuId self = CurrentCpu();
   std::vector<CpuId> targets = mask.ToVector();
+  Telemetry::Instance().Trace(TraceKind::kShootdown, frames.size(), targets.size());
 
   if (policy == TlbPolicy::kLatr) {
     // Flush locally now; defer remote flushes and frame reclamation.

@@ -137,7 +137,7 @@ TEST(LinuxMmTest, ForkCopyOnWrite) {
   Result<Vaddr> va = parent.MmapAnon(2 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::Write(parent, *va, 55).ok());
-  std::unique_ptr<LinuxVmaMm> child = parent.Fork();
+  std::unique_ptr<MmInterface> child = parent.Fork();
   uint64_t value = 0;
   ASSERT_TRUE(MmuSim::Read(*child, *va, &value).ok());
   EXPECT_EQ(value, 55u);

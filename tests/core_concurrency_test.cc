@@ -14,7 +14,7 @@
 #include "src/common/stats.h"
 #include "src/core/vm_space.h"
 #include "src/pmm/buddy.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 #include "src/sync/rcu.h"
 #include "src/verif/wf_checker.h"

@@ -9,7 +9,7 @@
 #include "src/core/vm_space.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 #include "src/sync/rcu.h"
 
@@ -89,42 +89,23 @@ TEST_P(CoreSmokeTest, MprotectReadOnlyFaultsOnWrite) {
 
 TEST_P(CoreSmokeTest, ForkCopyOnWrite) {
   CortenVm parent(MakeOptions());
-  Result<Vaddr> va = parent.vm().MmapAnon(2 * kPageSize, Perm::RW());
+  Result<Vaddr> va = parent.MmapAnon(2 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::Write(parent, *va, 77).ok());
 
-  std::unique_ptr<VmSpace> child_vm = parent.vm().Fork();
-  ASSERT_NE(child_vm, nullptr);
-
-  // Wrap the child in the facade for MMU access.
-  struct ChildAdapter : MmInterface {
-    VmSpace* vm;
-    explicit ChildAdapter(VmSpace* v) : vm(v) {}
-    const char* name() const override { return "child"; }
-    Asid asid() const override { return vm->asid(); }
-    PageTable& PageTableFor(CpuId) override { return vm->addr_space().page_table(); }
-    void NoteCpuActive(CpuId cpu) override { vm->addr_space().NoteCpuActive(cpu); }
-    Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override {
-      return vm->MmapAnon(len, perm);
-    }
-    VoidResult MmapAnonAt(Vaddr v, uint64_t l, Perm p) override {
-      return vm->MmapAnonAt(v, l, p);
-    }
-    VoidResult Munmap(Vaddr v, uint64_t l) override { return vm->Munmap(v, l); }
-    VoidResult Mprotect(Vaddr v, uint64_t l, Perm p) override {
-      return vm->Mprotect(v, l, p);
-    }
-    VoidResult HandleFault(Vaddr v, Access a) override { return vm->HandleFault(v, a); }
-  } child(child_vm.get());
+  // Fork through the facade: the child is a full MmInterface, so the MMU can
+  // drive it directly (no ad-hoc adapter).
+  std::unique_ptr<MmInterface> child = parent.Fork();
+  ASSERT_NE(child, nullptr);
 
   // Child sees the parent's value through the shared COW frame.
   uint64_t value = 0;
-  ASSERT_TRUE(MmuSim::Read(child, *va, &value).ok());
+  ASSERT_TRUE(MmuSim::Read(*child, *va, &value).ok());
   EXPECT_EQ(value, 77u);
 
   // Child write triggers COW; parent remains unchanged.
-  ASSERT_TRUE(MmuSim::Write(child, *va, 88).ok());
-  ASSERT_TRUE(MmuSim::Read(child, *va, &value).ok());
+  ASSERT_TRUE(MmuSim::Write(*child, *va, 88).ok());
+  ASSERT_TRUE(MmuSim::Read(*child, *va, &value).ok());
   EXPECT_EQ(value, 88u);
   ASSERT_TRUE(MmuSim::Read(parent, *va, &value).ok());
   EXPECT_EQ(value, 77u);
@@ -133,7 +114,7 @@ TEST_P(CoreSmokeTest, ForkCopyOnWrite) {
   ASSERT_TRUE(MmuSim::Write(parent, *va, 99).ok());
   ASSERT_TRUE(MmuSim::Read(parent, *va, &value).ok());
   EXPECT_EQ(value, 99u);
-  ASSERT_TRUE(MmuSim::Read(child, *va, &value).ok());
+  ASSERT_TRUE(MmuSim::Read(*child, *va, &value).ok());
   EXPECT_EQ(value, 88u);
 }
 
@@ -144,7 +125,7 @@ TEST_P(CoreSmokeTest, SwapOutAndBackIn) {
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(MmuSim::Write(mm, *va + i * kPageSize, 1000 + i).ok());
   }
-  Result<uint64_t> swapped = mm.vm().SwapOut(*va, 4 * kPageSize);
+  Result<uint64_t> swapped = mm.SwapOut(*va, 4 * kPageSize);
   ASSERT_TRUE(swapped.ok());
   EXPECT_EQ(*swapped, 4u);
   for (int i = 0; i < 4; ++i) {
@@ -157,7 +138,7 @@ TEST_P(CoreSmokeTest, SwapOutAndBackIn) {
 TEST_P(CoreSmokeTest, PrivateFileMapping) {
   CortenVm mm(MakeOptions());
   SimFile* file = FileRegistry::Instance().CreateFile(8);
-  Result<Vaddr> va = mm.vm().MmapFilePrivate(file, 0, 8 * kPageSize, Perm::RW());
+  Result<Vaddr> va = mm.MmapFilePrivate(file, 0, 8 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
 
   uint64_t value = 0;
@@ -183,8 +164,8 @@ TEST_P(CoreSmokeTest, SharedMappingVisibleAcrossSpaces) {
   CortenVm a(MakeOptions());
   CortenVm b(MakeOptions());
   SimFile* segment = FileRegistry::Instance().CreateSharedAnonSegment(4);
-  Result<Vaddr> va_a = a.vm().MmapShared(segment, 0, 4 * kPageSize, Perm::RW());
-  Result<Vaddr> va_b = b.vm().MmapShared(segment, 0, 4 * kPageSize, Perm::RW());
+  Result<Vaddr> va_a = a.MmapShared(segment, 0, 4 * kPageSize, Perm::RW());
+  Result<Vaddr> va_b = b.MmapShared(segment, 0, 4 * kPageSize, Perm::RW());
   ASSERT_TRUE(va_a.ok());
   ASSERT_TRUE(va_b.ok());
   ASSERT_TRUE(MmuSim::Write(a, *va_a, 4242).ok());

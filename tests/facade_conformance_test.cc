@@ -1,0 +1,131 @@
+// Facade conformance: every manager the evaluation compares is driven purely
+// through MmInterface — no downcasts — and capability gaps surface as
+// kUnsupported (Fork: nullptr) rather than as missing methods. This pins the
+// contract the benches rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/backing.h"
+#include "src/sim/bench_util.h"
+
+namespace cortenmm {
+namespace {
+
+constexpr uint64_t kLen = 4 * kPageSize;
+
+bool SupportsExtendedOps(MmKind kind) {
+  return kind == MmKind::kCortenAdv || kind == MmKind::kCortenRw;
+}
+
+bool SupportsFork(MmKind kind) {
+  return SupportsExtendedOps(kind) || kind == MmKind::kLinux;
+}
+
+class FacadeConformanceTest : public ::testing::TestWithParam<MmKind> {};
+
+TEST_P(FacadeConformanceTest, CoreOpsWorkThroughTheFacade) {
+  std::unique_ptr<MmInterface> mm = MakeMm(GetParam());
+  ASSERT_NE(mm, nullptr);
+  EXPECT_NE(std::string(mm->name()), "");
+
+  Result<Vaddr> va = mm->MmapAnon(kLen, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  if (mm->demand_paging()) {
+    for (uint64_t off = 0; off < kLen; off += kPageSize) {
+      EXPECT_TRUE(mm->HandleFault(*va + off, Access::kWrite).ok());
+    }
+  }
+  EXPECT_TRUE(mm->Mprotect(*va, kLen, Perm::R()).ok());
+  EXPECT_TRUE(mm->Munmap(*va, kLen).ok());
+}
+
+TEST_P(FacadeConformanceTest, FileMappingsSupportedOrGated) {
+  std::unique_ptr<MmInterface> mm = MakeMm(GetParam());
+  SimFile* file = FileRegistry::Instance().CreateFile(4);
+
+  Result<Vaddr> priv = mm->MmapFilePrivate(file, 0, kLen, Perm::RW());
+  Result<Vaddr> shared = mm->MmapShared(file, 0, kLen, Perm::RW());
+  if (SupportsExtendedOps(GetParam())) {
+    ASSERT_TRUE(priv.ok());
+    ASSERT_TRUE(shared.ok());
+    EXPECT_TRUE(mm->Msync(*shared, kLen).ok());
+    EXPECT_TRUE(mm->Munmap(*priv, kLen).ok());
+    EXPECT_TRUE(mm->Munmap(*shared, kLen).ok());
+  } else {
+    ASSERT_FALSE(priv.ok());
+    EXPECT_EQ(priv.error(), ErrCode::kUnsupported);
+    ASSERT_FALSE(shared.ok());
+    EXPECT_EQ(shared.error(), ErrCode::kUnsupported);
+    Result<Vaddr> va = mm->MmapAnon(kLen, Perm::RW());
+    ASSERT_TRUE(va.ok());
+    VoidResult msync = mm->Msync(*va, kLen);
+    ASSERT_FALSE(msync.ok());
+    EXPECT_EQ(msync.error(), ErrCode::kUnsupported);
+  }
+}
+
+TEST_P(FacadeConformanceTest, PkeyAndSwapSupportedOrGated) {
+  std::unique_ptr<MmInterface> mm = MakeMm(GetParam());
+  Result<Vaddr> va = mm->MmapAnon(kLen, Perm::RW());
+  ASSERT_TRUE(va.ok());
+
+  VoidResult pkey = mm->PkeyMprotect(*va, kLen, 1);
+  if (SupportsExtendedOps(GetParam())) {
+    EXPECT_TRUE(pkey.ok());
+    // Make the pages resident so there is something to evict.
+    for (uint64_t off = 0; off < kLen; off += kPageSize) {
+      ASSERT_TRUE(mm->HandleFault(*va + off, Access::kWrite).ok());
+    }
+    Result<uint64_t> swapped = mm->SwapOut(*va, kLen);
+    ASSERT_TRUE(swapped.ok());
+    EXPECT_GE(*swapped, 1u);
+  } else {
+    ASSERT_FALSE(pkey.ok());
+    EXPECT_EQ(pkey.error(), ErrCode::kUnsupported);
+    Result<uint64_t> swapped = mm->SwapOut(*va, kLen);
+    ASSERT_FALSE(swapped.ok());
+    EXPECT_EQ(swapped.error(), ErrCode::kUnsupported);
+  }
+  EXPECT_TRUE(mm->Munmap(*va, kLen).ok());
+}
+
+TEST_P(FacadeConformanceTest, ForkSupportedOrNull) {
+  std::unique_ptr<MmInterface> mm = MakeMm(GetParam());
+  Result<Vaddr> va = mm->MmapAnon(kLen, Perm::RW());
+  ASSERT_TRUE(va.ok());
+  if (mm->demand_paging()) {
+    ASSERT_TRUE(mm->HandleFault(*va, Access::kWrite).ok());
+  }
+
+  std::unique_ptr<MmInterface> child = mm->Fork();
+  if (SupportsFork(GetParam())) {
+    ASSERT_NE(child, nullptr);
+    EXPECT_NE(child->asid(), mm->asid());
+    // The child is a full manager: its inherited mapping faults and unmaps
+    // through the same facade.
+    EXPECT_TRUE(child->HandleFault(*va, Access::kWrite).ok());
+    EXPECT_TRUE(child->Munmap(*va, kLen).ok());
+    Result<Vaddr> child_va = child->MmapAnon(kLen, Perm::RW());
+    EXPECT_TRUE(child_va.ok());
+  } else {
+    EXPECT_EQ(child, nullptr);
+  }
+  EXPECT_TRUE(mm->Munmap(*va, kLen).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, FacadeConformanceTest,
+                         ::testing::ValuesIn(ComparisonSet()),
+                         [](const ::testing::TestParamInfo<MmKind>& info) {
+                           std::string name = MmKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cortenmm

@@ -6,7 +6,7 @@
 
 #include "src/core/vm_space.h"
 #include "src/pt/pte.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 
 namespace cortenmm {
@@ -42,7 +42,7 @@ TEST(MpkTest, AccessDisableBlocksReadsAndWrites) {
   Result<Vaddr> va = mm.MmapAnon(4 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::TouchRange(mm, *va, 4 * kPageSize, true).ok());
-  ASSERT_TRUE(mm.vm().PkeyMprotect(*va, 4 * kPageSize, 5).ok());
+  ASSERT_TRUE(mm.PkeyMprotect(*va, 4 * kPageSize, 5).ok());
 
   // Key 5 access-disabled: both reads and writes fault.
   mm.vm().addr_space().set_pkru(AddrSpace::PkruAccessDisable(5));
@@ -60,7 +60,7 @@ TEST(MpkTest, WriteDisableAllowsReads) {
   Result<Vaddr> va = mm.MmapAnon(kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::Write(mm, *va, 77).ok());
-  ASSERT_TRUE(mm.vm().PkeyMprotect(*va, kPageSize, 2).ok());
+  ASSERT_TRUE(mm.PkeyMprotect(*va, kPageSize, 2).ok());
 
   mm.vm().addr_space().set_pkru(AddrSpace::PkruWriteDisable(2));
   uint64_t value = 0;
@@ -77,8 +77,8 @@ TEST(MpkTest, KeysAreIndependent) {
   ASSERT_TRUE(b.ok());
   ASSERT_TRUE(MmuSim::Write(mm, *a, 1).ok());
   ASSERT_TRUE(MmuSim::Write(mm, *b, 2).ok());
-  ASSERT_TRUE(mm.vm().PkeyMprotect(*a, kPageSize, 1).ok());
-  ASSERT_TRUE(mm.vm().PkeyMprotect(*b, kPageSize, 2).ok());
+  ASSERT_TRUE(mm.PkeyMprotect(*a, kPageSize, 1).ok());
+  ASSERT_TRUE(mm.PkeyMprotect(*b, kPageSize, 2).ok());
 
   mm.vm().addr_space().set_pkru(AddrSpace::PkruAccessDisable(1));
   uint64_t value;
@@ -90,15 +90,15 @@ TEST(MpkTest, RejectsBadArgs) {
   CortenVm mm(X86Adv());
   Result<Vaddr> va = mm.MmapAnon(kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
-  EXPECT_EQ(mm.vm().PkeyMprotect(*va, kPageSize, 16).error(), ErrCode::kInval);
-  EXPECT_EQ(mm.vm().PkeyMprotect(*va, kPageSize, -1).error(), ErrCode::kInval);
+  EXPECT_EQ(mm.PkeyMprotect(*va, kPageSize, 16).error(), ErrCode::kInval);
+  EXPECT_EQ(mm.PkeyMprotect(*va, kPageSize, -1).error(), ErrCode::kInval);
 
   AddrSpace::Options riscv = X86Adv();
   riscv.arch = Arch::kRiscvSv48;
   CortenVm rv(riscv);
   Result<Vaddr> rva = rv.MmapAnon(kPageSize, Perm::RW());
   ASSERT_TRUE(rva.ok());
-  EXPECT_EQ(rv.vm().PkeyMprotect(*rva, kPageSize, 1).error(), ErrCode::kInval);
+  EXPECT_EQ(rv.PkeyMprotect(*rva, kPageSize, 1).error(), ErrCode::kInval);
 }
 
 }  // namespace

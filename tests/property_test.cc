@@ -17,7 +17,7 @@
 #include "src/common/rng.h"
 #include "src/core/vm_space.h"
 #include "src/pmm/buddy.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 #include "src/verif/tree_model.h"
 #include "src/verif/wf_checker.h"
@@ -126,7 +126,7 @@ TEST_P(MmFuzzTest, RandomOpsMatchOracle) {
         break;
       }
       case 5: {  // swap out (contents must survive)
-        Result<uint64_t> swapped = mm.vm().SwapOut(va, len * kPageSize);
+        Result<uint64_t> swapped = mm.SwapOut(va, len * kPageSize);
         ASSERT_TRUE(swapped.ok());
         break;
       }

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/vm_space.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 #include "src/verif/model.h"
 #include "src/verif/tree_model.h"

@@ -9,7 +9,7 @@
 #include "src/core/vm_space.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
-#include "src/sim/mm_interface.h"
+#include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
 
 namespace cortenmm {
@@ -57,8 +57,8 @@ TEST(ReverseMappingTest, FileTracksMappingsForRmapWalks) {
   CortenVm a(AdvOptions());
   CortenVm b(AdvOptions());
   SimFile* file = FileRegistry::Instance().CreateFile(16);
-  Result<Vaddr> va_a = a.vm().MmapFilePrivate(file, 0, 16 * kPageSize, Perm::R());
-  Result<Vaddr> va_b = b.vm().MmapFilePrivate(file, 4, 8 * kPageSize, Perm::R());
+  Result<Vaddr> va_a = a.MmapFilePrivate(file, 0, 16 * kPageSize, Perm::R());
+  Result<Vaddr> va_b = b.MmapFilePrivate(file, 4, 8 * kPageSize, Perm::R());
   ASSERT_TRUE(va_a.ok());
   ASSERT_TRUE(va_b.ok());
 
@@ -88,31 +88,16 @@ TEST(ReverseMappingTest, FileTracksMappingsForRmapWalks) {
 TEST(SharedAnonTest, SurvivesForkAndStaysCoherent) {
   CortenVm parent(AdvOptions());
   SimFile* segment = FileRegistry::Instance().CreateSharedAnonSegment(4);
-  Result<Vaddr> va = parent.vm().MmapShared(segment, 0, 4 * kPageSize, Perm::RW());
+  Result<Vaddr> va = parent.MmapShared(segment, 0, 4 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::Write(parent, *va, 111).ok());
 
-  std::unique_ptr<VmSpace> child_vm = parent.vm().Fork();
-  struct ChildFacade final : MmInterface {
-    VmSpace* vm;
-    explicit ChildFacade(VmSpace* v) : vm(v) {}
-    const char* name() const override { return "child"; }
-    Asid asid() const override { return vm->asid(); }
-    PageTable& PageTableFor(CpuId) override { return vm->addr_space().page_table(); }
-    void NoteCpuActive(CpuId cpu) override { vm->addr_space().NoteCpuActive(cpu); }
-    Result<Vaddr> MmapAnon(uint64_t l, Perm p) override { return vm->MmapAnon(l, p); }
-    VoidResult MmapAnonAt(Vaddr v, uint64_t l, Perm p) override {
-      return vm->MmapAnonAt(v, l, p);
-    }
-    VoidResult Munmap(Vaddr v, uint64_t l) override { return vm->Munmap(v, l); }
-    VoidResult Mprotect(Vaddr v, uint64_t l, Perm p) override {
-      return vm->Mprotect(v, l, p);
-    }
-    VoidResult HandleFault(Vaddr v, Access a) override { return vm->HandleFault(v, a); }
-  } child(child_vm.get());
+  // Fork through the facade: the child is itself a full MmInterface.
+  std::unique_ptr<MmInterface> child = parent.Fork();
+  ASSERT_NE(child, nullptr);
 
   // Shared mapping: the child's write must be visible to the parent (no COW).
-  ASSERT_TRUE(MmuSim::Write(child, *va, 222).ok());
+  ASSERT_TRUE(MmuSim::Write(*child, *va, 222).ok());
   uint64_t value = 0;
   ASSERT_TRUE(MmuSim::Read(parent, *va, &value).ok());
   EXPECT_EQ(value, 222u);
@@ -142,21 +127,22 @@ TEST(SharedAnonTest, MprotectAfterForkBreaksSharingCorrectly) {
 
 TEST(SwapTest, ForkSharesSwapBlocks) {
   CortenVm parent(AdvOptions());
-  Result<Vaddr> va = parent.vm().MmapAnon(2 * kPageSize, Perm::RW());
+  Result<Vaddr> va = parent.MmapAnon(2 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::Write(parent, *va, 4242).ok());
   ASSERT_TRUE(MmuSim::Write(parent, *va + kPageSize, 4343).ok());
-  Result<uint64_t> swapped = parent.vm().SwapOut(*va, 2 * kPageSize);
+  Result<uint64_t> swapped = parent.SwapOut(*va, 2 * kPageSize);
   ASSERT_TRUE(swapped.ok());
   ASSERT_EQ(*swapped, 2u);
 
   uint64_t blocks_before = SwapDevice::Instance().blocks_in_use();
-  std::unique_ptr<VmSpace> child = parent.vm().Fork();
+  std::unique_ptr<MmInterface> child = parent.Fork();
+  ASSERT_NE(child, nullptr);
   // Fork shares the swapped pages via block refcounts: no new blocks.
   EXPECT_EQ(SwapDevice::Instance().blocks_in_use(), blocks_before);
 
   // Both sides can fault their copy back in independently.
-  ASSERT_TRUE(parent.vm().HandleFault(*va, Access::kRead).ok());
+  ASSERT_TRUE(parent.HandleFault(*va, Access::kRead).ok());
   ASSERT_TRUE(child->HandleFault(*va, Access::kRead).ok());
   uint64_t value = 0;
   ASSERT_TRUE(MmuSim::Read(parent, *va, &value).ok());
@@ -168,7 +154,7 @@ TEST(SwapTest, MunmapReleasesBlocks) {
   Result<Vaddr> va = mm.MmapAnon(4 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::TouchRange(mm, *va, 4 * kPageSize, true).ok());
-  ASSERT_TRUE(mm.vm().SwapOut(*va, 4 * kPageSize).ok());
+  ASSERT_TRUE(mm.SwapOut(*va, 4 * kPageSize).ok());
   uint64_t used = SwapDevice::Instance().blocks_in_use();
   ASSERT_TRUE(mm.Munmap(*va, 4 * kPageSize).ok());
   EXPECT_EQ(SwapDevice::Instance().blocks_in_use(), used - 4);
@@ -176,12 +162,12 @@ TEST(SwapTest, MunmapReleasesBlocks) {
 
 TEST(SwapTest, SwapSkipsSharedCowPages) {
   CortenVm parent(AdvOptions());
-  Result<Vaddr> va = parent.vm().MmapAnon(kPageSize, Perm::RW());
+  Result<Vaddr> va = parent.MmapAnon(kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::Write(parent, *va, 9).ok());
-  std::unique_ptr<VmSpace> child = parent.vm().Fork();
+  std::unique_ptr<MmInterface> child = parent.Fork();
   // The page is mapcount 2 (COW-shared): SwapOut must leave it alone.
-  Result<uint64_t> swapped = parent.vm().SwapOut(*va, kPageSize);
+  Result<uint64_t> swapped = parent.SwapOut(*va, kPageSize);
   ASSERT_TRUE(swapped.ok());
   EXPECT_EQ(*swapped, 0u);
 }
@@ -193,14 +179,14 @@ TEST(SwapTest, SwapSkipsSharedCowPages) {
 TEST(FileMappingTest, SharedFileWritesHitThePageCache) {
   CortenVm mm(AdvOptions());
   SimFile* file = FileRegistry::Instance().CreateFile(4);
-  Result<Vaddr> va = mm.vm().MmapShared(file, 0, 4 * kPageSize, Perm::RW());
+  Result<Vaddr> va = mm.MmapShared(file, 0, 4 * kPageSize, Perm::RW());
   ASSERT_TRUE(va.ok());
   ASSERT_TRUE(MmuSim::Write(mm, *va, 0x5eed).ok());
-  ASSERT_TRUE(mm.vm().Msync(*va, 4 * kPageSize).ok());
+  ASSERT_TRUE(mm.Msync(*va, 4 * kPageSize).ok());
 
   // The cache frame *is* the file: a second mapping observes the write.
   CortenVm other(AdvOptions());
-  Result<Vaddr> va2 = other.vm().MmapShared(file, 0, 4 * kPageSize, Perm::R());
+  Result<Vaddr> va2 = other.MmapShared(file, 0, 4 * kPageSize, Perm::R());
   ASSERT_TRUE(va2.ok());
   uint64_t value = 0;
   ASSERT_TRUE(MmuSim::Read(other, *va2, &value).ok());
@@ -211,12 +197,12 @@ TEST(FileMappingTest, PrivateMapUnaffectedByLaterCacheWrites) {
   CortenVm reader(AdvOptions());
   CortenVm writer(AdvOptions());
   SimFile* file = FileRegistry::Instance().CreateFile(2);
-  Result<Vaddr> rva = reader.vm().MmapFilePrivate(file, 0, kPageSize, Perm::RW());
+  Result<Vaddr> rva = reader.MmapFilePrivate(file, 0, kPageSize, Perm::RW());
   ASSERT_TRUE(rva.ok());
   // Private write: breaks to a private copy immediately.
   ASSERT_TRUE(MmuSim::Write(reader, *rva, 0x1111).ok());
 
-  Result<Vaddr> wva = writer.vm().MmapShared(file, 0, kPageSize, Perm::RW());
+  Result<Vaddr> wva = writer.MmapShared(file, 0, kPageSize, Perm::RW());
   ASSERT_TRUE(wva.ok());
   ASSERT_TRUE(MmuSim::Write(writer, *wva, 0x2222).ok());
 
@@ -229,7 +215,7 @@ TEST(FileMappingTest, OffsetMappingsReadTheRightPages) {
   CortenVm mm(AdvOptions());
   SimFile* file = FileRegistry::Instance().CreateFile(64);
   // Map pages [32, 40).
-  Result<Vaddr> va = mm.vm().MmapFilePrivate(file, 32, 8 * kPageSize, Perm::R());
+  Result<Vaddr> va = mm.MmapFilePrivate(file, 32, 8 * kPageSize, Perm::R());
   ASSERT_TRUE(va.ok());
   for (int i = 0; i < 8; ++i) {
     uint64_t value = 0;
