@@ -1,8 +1,10 @@
 #include "src/baseline/linux_mm.h"
 
 #include <cassert>
+#include <utility>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
 #include "src/core/addr_space.h"  // DropFrameRef / AddFrameRef
 #include "src/pmm/buddy.h"
@@ -33,6 +35,20 @@ LinuxVmaMm::LinuxVmaMm(const Options& options)
       pt_(options.arch),
       va_alloc_(/*per_core=*/false) {}  // Linux: one VA arena per mm.
 
+LinuxVmaMm::LinuxVmaMm(const Options& options, PageTable pt)
+    : options_(options),
+      asid_(g_next_linux_asid.fetch_add(1, std::memory_order_relaxed)),
+      pt_(std::move(pt)),
+      va_alloc_(/*per_core=*/false) {}
+
+Result<std::unique_ptr<LinuxVmaMm>> LinuxVmaMm::Create(const Options& options) {
+  Result<PageTable> pt = PageTable::Create(options.arch);
+  if (!pt.ok()) {
+    return pt.error();
+  }
+  return std::unique_ptr<LinuxVmaMm>(new LinuxVmaMm(options, std::move(*pt)));
+}
+
 LinuxVmaMm::~LinuxVmaMm() {
   mmap_lock_.WriteLock();
   DoMunmapLocked(VaRange(0, kVaLimit));
@@ -48,7 +64,7 @@ LinuxVmaMm::~LinuxVmaMm() {
 // per-PT-page locks at level 2 for installing level-1 tables and leaves).
 // ---------------------------------------------------------------------------
 
-Pfn LinuxVmaMm::EnsurePtPath(Vaddr va) {
+Result<Pfn> LinuxVmaMm::EnsurePtPath(Vaddr va) {
   Pfn page = pt_.root();
   for (int level = kPtLevels; level > 1; --level) {
     uint64_t index = PtIndex(va, level);
@@ -60,7 +76,9 @@ Pfn LinuxVmaMm::EnsurePtPath(Vaddr va) {
         pte = pt_.LoadEntry(page, index);
         if (!PteIsPresent(pt_.arch(), pte)) {
           Result<Pfn> child = pt_.AllocPtPage(level - 1);
-          assert(child.ok());
+          if (!child.ok()) {
+            return child;
+          }
           pt_.StoreEntry(page, index, MakeTablePte(pt_.arch(), *child));
           pte = pt_.LoadEntry(page, index);
         }
@@ -71,7 +89,10 @@ Pfn LinuxVmaMm::EnsurePtPath(Vaddr va) {
         pte = pt_.LoadEntry(page, index);
         if (!PteIsPresent(pt_.arch(), pte)) {
           Result<Pfn> child = pt_.AllocPtPage(level - 1);
-          assert(child.ok());
+          if (!child.ok()) {
+            desc.mcs.Unlock(&node);
+            return child;
+          }
           pt_.StoreEntry(page, index, MakeTablePte(pt_.arch(), *child));
           pte = pt_.LoadEntry(page, index);
         }
@@ -320,70 +341,83 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
   if (walk.present) {
     Perm pte_perm = PtePerm(pt_.arch(), walk.pte);
     if (want_write && pte_perm.cow()) {
-      // COW resolution under the level-2 PT page lock.
+      // COW resolution under the level-2 PT page lock. The path to a present
+      // leaf necessarily exists, so EnsurePtPath only walks here — but the
+      // fallible signature is honored anyway.
       CountEvent(Counter::kCowFaults);
-      Pfn leaf_table = EnsurePtPath(page_va);
-      McsNode node;
-      PageDescriptor& table_desc = PhysMem::Instance().Descriptor(leaf_table);
-      table_desc.mcs.Lock(&node);
-      walk = pt_.Walk(page_va);
-      if (walk.present && PtePerm(pt_.arch(), walk.pte).cow()) {
-        Pfn old_pfn = PtePfn(pt_.arch(), walk.pte);
-        PageDescriptor& old_desc = PhysMem::Instance().Descriptor(old_pfn);
-        Perm p = perm.Without(Perm::kCow).With(Perm::kWrite);
-        if (old_desc.mapcount.load(std::memory_order_acquire) == 1) {
-          pt_.StoreEntry(walk.pt_page, walk.index, MakeLeafPte(pt_.arch(), old_pfn, p, 1));
-        } else {
-          Result<Pfn> copy = BuddyAllocator::Instance().AllocFrame();
-          if (!copy.ok()) {
-            result = copy.error();
+      Result<Pfn> leaf_table = EnsurePtPath(page_va);
+      if (!leaf_table.ok()) {
+        result = leaf_table.error();
+      } else {
+        McsNode node;
+        PageDescriptor& table_desc = PhysMem::Instance().Descriptor(*leaf_table);
+        table_desc.mcs.Lock(&node);
+        walk = pt_.Walk(page_va);
+        if (walk.present && PtePerm(pt_.arch(), walk.pte).cow()) {
+          Pfn old_pfn = PtePfn(pt_.arch(), walk.pte);
+          PageDescriptor& old_desc = PhysMem::Instance().Descriptor(old_pfn);
+          Perm p = perm.Without(Perm::kCow).With(Perm::kWrite);
+          if (old_desc.mapcount.load(std::memory_order_acquire) == 1) {
+            pt_.StoreEntry(walk.pt_page, walk.index,
+                           MakeLeafPte(pt_.arch(), old_pfn, p, 1));
           } else {
-            PhysMem::Instance().Descriptor(*copy).ResetForAlloc(FrameType::kAnon);
-            PhysMem::Instance().CopyFrame(*copy, old_pfn);
-            PhysMem::Instance().Descriptor(*copy).mapcount.store(
-                1, std::memory_order_relaxed);
-            pt_.StoreEntry(walk.pt_page, walk.index, MakeLeafPte(pt_.arch(), *copy, p, 1));
-            old_desc.mapcount.fetch_sub(1, std::memory_order_acq_rel);
-            TlbSystem::Instance().Shootdown(asid_, VaRange(page_va, page_va + kPageSize),
-                                            active_cpus_, options_.tlb_policy, {old_pfn},
-                                            &DropFrameRef);
+            Result<Pfn> copy = BuddyAllocator::Instance().AllocFrame();
+            if (!copy.ok()) {
+              result = copy.error();
+            } else {
+              PhysMem::Instance().Descriptor(*copy).ResetForAlloc(FrameType::kAnon);
+              PhysMem::Instance().CopyFrame(*copy, old_pfn);
+              PhysMem::Instance().Descriptor(*copy).mapcount.store(
+                  1, std::memory_order_relaxed);
+              pt_.StoreEntry(walk.pt_page, walk.index,
+                             MakeLeafPte(pt_.arch(), *copy, p, 1));
+              old_desc.mapcount.fetch_sub(1, std::memory_order_acq_rel);
+              TlbSystem::Instance().Shootdown(asid_, VaRange(page_va, page_va + kPageSize),
+                                              active_cpus_, options_.tlb_policy, {old_pfn},
+                                              &DropFrameRef);
+            }
           }
         }
+        table_desc.mcs.Unlock(&node);
       }
-      table_desc.mcs.Unlock(&node);
     } else if (!PermAllowsAccess(pte_perm, access)) {
       result = ErrCode::kFault;
     }
   } else if (!PermAllowsAccess(perm, access)) {
     result = ErrCode::kFault;
   } else {
-    // Demand-zero fill under the leaf table's lock (Table 1 rule 5).
-    Pfn leaf_table = EnsurePtPath(page_va);
-    McsNode node;
-    PageDescriptor& table_desc = PhysMem::Instance().Descriptor(leaf_table);
-    table_desc.mcs.Lock(&node);
-    Pte pte = pt_.LoadEntry(leaf_table, PtIndex(page_va, 1));
-    if (!PteIsPresent(pt_.arch(), pte)) {
-      Result<Pfn> frame = BuddyAllocator::Instance().AllocZeroedFrame();
-      if (!frame.ok()) {
-        result = frame.error();
-      } else {
-        PageDescriptor& frame_desc = PhysMem::Instance().Descriptor(*frame);
-        frame_desc.ResetForAlloc(FrameType::kAnon);
-        frame_desc.mapcount.store(1, std::memory_order_relaxed);
-        {
-          // Anonymous reverse-map setup (page_add_new_anon_rmap analog).
-          SpinGuard rmap_guard(frame_desc.rmap_lock);
-          frame_desc.owner = this;
-          frame_desc.owner_key = page_va;
+    // Demand-zero fill under the leaf table's lock (Table 1 rule 5). A failed
+    // path allocation surfaces as kNoMem with nothing installed.
+    Result<Pfn> leaf_table = EnsurePtPath(page_va);
+    if (!leaf_table.ok()) {
+      result = leaf_table.error();
+    } else {
+      McsNode node;
+      PageDescriptor& table_desc = PhysMem::Instance().Descriptor(*leaf_table);
+      table_desc.mcs.Lock(&node);
+      Pte pte = pt_.LoadEntry(*leaf_table, PtIndex(page_va, 1));
+      if (!PteIsPresent(pt_.arch(), pte)) {
+        Result<Pfn> frame = BuddyAllocator::Instance().AllocZeroedFrame();
+        if (!frame.ok()) {
+          result = frame.error();
+        } else {
+          PageDescriptor& frame_desc = PhysMem::Instance().Descriptor(*frame);
+          frame_desc.ResetForAlloc(FrameType::kAnon);
+          frame_desc.mapcount.store(1, std::memory_order_relaxed);
+          {
+            // Anonymous reverse-map setup (page_add_new_anon_rmap analog).
+            SpinGuard rmap_guard(frame_desc.rmap_lock);
+            frame_desc.owner = this;
+            frame_desc.owner_key = page_va;
+          }
+          pt_.StoreEntry(*leaf_table, PtIndex(page_va, 1),
+                         MakeLeafPte(pt_.arch(), *frame, perm, 1));
+          ChargeAndLruAdd(*frame);
+          CountEvent(Counter::kDemandZeroFills);
         }
-        pt_.StoreEntry(leaf_table, PtIndex(page_va, 1),
-                       MakeLeafPte(pt_.arch(), *frame, perm, 1));
-        ChargeAndLruAdd(*frame);
-        CountEvent(Counter::kDemandZeroFills);
       }
+      table_desc.mcs.Unlock(&node);
     }
-    table_desc.mcs.Unlock(&node);
   }
 
   vma->lock.ReadUnlock();
@@ -397,7 +431,12 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
 
 std::unique_ptr<MmInterface> LinuxVmaMm::Fork() {
   ScopedOpTimer telemetry_timer(MmOp::kFork);
-  auto child = std::make_unique<LinuxVmaMm>(options_);
+  Result<std::unique_ptr<LinuxVmaMm>> created = Create(options_);
+  if (!created.ok()) {
+    FaultInjector::NoteSurvived();
+    return nullptr;
+  }
+  std::unique_ptr<LinuxVmaMm> child = std::move(*created);
   mmap_lock_.WriteLock();
   // Duplicate the VMA tree (the cheap enumeration Linux is good at, Fig. 20),
   // then COW-copy page-table contents within each VMA only.
@@ -416,12 +455,25 @@ std::unique_ptr<MmInterface> LinuxVmaMm::Fork() {
       // All private pages take the COW mark, including currently read-only
       // ones (mprotect(RW)+write after fork must break the sharing).
       Perm cow = perm.With(Perm::kCow).Without(Perm::kWrite);
+      // The child's PT path is built *before* any reference is taken for this
+      // leaf, so an OOM here aborts the fork with nothing to undo for the
+      // current page; the child's destructor returns the references already
+      // taken for earlier pages. Parent pages that gained COW protection are
+      // semantically unchanged (the copy simply never happens).
+      Result<Pfn> child_table = child->EnsurePtPath(lva);
+      if (!child_table.ok()) {
+        TlbSystem::Instance().Shootdown(asid_, VaRange(0, kVaLimit), active_cpus_,
+                                        options_.tlb_policy, {}, nullptr);
+        mmap_lock_.WriteUnlock();
+        child.reset();
+        FaultInjector::NoteRolledBack();
+        return nullptr;
+      }
       PageTable::WalkResult walk = pt_.Walk(lva);
       pt_.StoreEntry(walk.pt_page, walk.index, MakeLeafPte(pt_.arch(), pfn, cow, 1));
       AddFrameRef(pfn);
       PhysMem::Instance().Descriptor(pfn).mapcount.fetch_add(1, std::memory_order_acq_rel);
-      Pfn child_table = child->EnsurePtPath(lva);
-      child->pt_.StoreEntry(child_table, PtIndex(lva, 1),
+      child->pt_.StoreEntry(*child_table, PtIndex(lva, 1),
                             MakeLeafPte(pt_.arch(), pfn, cow, 1));
     }
   }

@@ -35,8 +35,14 @@ class LinuxVmaMm final : public MmInterface {
     TlbPolicy tlb_policy = TlbPolicy::kSync;
   };
 
+  // Aborts loudly if the page-table root cannot be allocated; use Create for
+  // the propagating path.
   explicit LinuxVmaMm(const Options& options);
   LinuxVmaMm() : LinuxVmaMm(Options{}) {}
+  // Adopts a pre-created page table (the fallible construction path).
+  LinuxVmaMm(const Options& options, PageTable pt);
+  // Fallible construction: returns kNoMem instead of aborting.
+  static Result<std::unique_ptr<LinuxVmaMm>> Create(const Options& options);
   ~LinuxVmaMm() override;
 
   const char* name() const override { return "linux-vma"; }
@@ -69,8 +75,10 @@ class LinuxVmaMm final : public MmInterface {
   bool CheckVmaTree();
 
  private:
-  // Page-table plumbing (caller holds the locks per Table 1).
-  Pfn EnsurePtPath(Vaddr va);
+  // Page-table plumbing (caller holds the locks per Table 1). Returns kNoMem
+  // when an intermediate PT page cannot be allocated; no partial state needs
+  // undoing (already-linked intermediate tables are empty and harmless).
+  Result<Pfn> EnsurePtPath(Vaddr va);
   void UnmapPtRange(VaRange range, std::vector<Pfn>* dead_frames);
   void FreeEmptyTables(VaRange range);
   // Removes all VMAs overlapping |range| (splitting edges) and clears the

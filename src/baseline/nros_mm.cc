@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
 #include "src/core/addr_space.h"  // DropFrameRef
 #include "src/pmm/buddy.h"
@@ -42,21 +43,33 @@ void NrosMm::ApplyOp(Replica& replica, const LogOp& op) {
   switch (op.kind) {
     case OpKind::kMap: {
       size_t frame_index = 0;
-      for (Vaddr va = op.range.start; va < op.range.end; va += kPageSize) {
+      for (Vaddr va = op.range.start; va < op.range.end; va += kPageSize, ++frame_index) {
         Pfn page = pt.root();
+        bool path_ok = true;
         for (int level = kPtLevels; level > 1; --level) {
           uint64_t index = PtIndex(va, level);
           Pte pte = pt.LoadEntry(page, index);
           if (!PteIsPresent(pt.arch(), pte)) {
             Result<Pfn> child = pt.AllocPtPage(level - 1);
-            assert(child.ok());
+            if (!child.ok()) {
+              // OOM while growing this replica: leave the page uninstalled.
+              // The frame stays owned by the log record (munmap frees it from
+              // there), so nothing leaks; accesses through this replica take
+              // a fault until a later replay succeeds.
+              FaultInjector::NoteSurvived();
+              path_ok = false;
+              break;
+            }
             pt.StoreEntry(page, index, MakeTablePte(pt.arch(), *child));
             pte = pt.LoadEntry(page, index);
           }
           page = PtePfn(pt.arch(), pte);
         }
+        if (!path_ok) {
+          continue;
+        }
         pt.StoreEntry(page, PtIndex(va, 1),
-                      MakeLeafPte(pt.arch(), op.frames[frame_index++], op.perm, 1));
+                      MakeLeafPte(pt.arch(), op.frames[frame_index], op.perm, 1));
       }
       break;
     }

@@ -1,8 +1,10 @@
 #include "src/baseline/radixvm_mm.h"
 
 #include <cassert>
+#include <utility>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
 #include "src/core/addr_space.h"  // DropFrameRef
 #include "src/pmm/buddy.h"
@@ -67,7 +69,13 @@ PageTable* RadixVmMm::ReplicaFor(CpuId cpu) {
   if (pt == nullptr) {
     SpinGuard guard(replica_create_lock_);
     if (replica.pt == nullptr) {
-      replica.pt = std::make_unique<PageTable>(options_.arch);
+      // Fallible: under memory pressure the replica simply does not come up
+      // yet and the faulting access reports kNoMem; a later fault retries.
+      Result<PageTable> created = PageTable::Create(options_.arch);
+      if (!created.ok()) {
+        return nullptr;
+      }
+      replica.pt = std::make_unique<PageTable>(std::move(*created));
     }
     pt = replica.pt.get();
   }
@@ -160,7 +168,9 @@ void RadixVmMm::ForRange(VaRange range, bool create,
 void RadixVmMm::InstallInReplica(int replica_index, Vaddr va, Pfn pfn, Perm perm) {
   Replica& replica = replicas_[replica_index];
   PageTable* pt = replica.pt.get();
-  assert(pt != nullptr);
+  if (pt == nullptr) {
+    return;  // Replica never came up (OOM); nothing to install into.
+  }
   SpinGuard guard(replica.lock);
   Pfn page = pt->root();
   for (int level = kPtLevels; level > 1; --level) {
@@ -168,7 +178,13 @@ void RadixVmMm::InstallInReplica(int replica_index, Vaddr va, Pfn pfn, Perm perm
     Pte pte = pt->LoadEntry(page, index);
     if (!PteIsPresent(pt->arch(), pte)) {
       Result<Pfn> child = pt->AllocPtPage(level - 1);
-      assert(child.ok());
+      if (!child.ok()) {
+        // OOM mid-descent: the page is simply absent from this replica. The
+        // radix tree stays authoritative (no frame is lost) and the next
+        // fault on this core retries the install.
+        FaultInjector::NoteSurvived();
+        return;
+      }
       pt->StoreEntry(page, index, MakeTablePte(pt->arch(), *child));
       pte = pt->LoadEntry(page, index);
     }
@@ -278,7 +294,9 @@ VoidResult RadixVmMm::HandleFault(Vaddr va, Access access) {
   CpuId cpu = CurrentCpu();
   NoteCpuActive(cpu);
   int replica_index = cpu % options_.max_cores;
-  ReplicaFor(cpu);  // Ensure the replica exists.
+  if (ReplicaFor(cpu) == nullptr) {  // Ensure the replica exists.
+    return ErrCode::kNoMem;
+  }
 
   Vaddr page_va = AlignDown(va, kPageSize);
   PageInfo* info = LookupOrCreate(page_va >> kPageBits, /*create=*/false);

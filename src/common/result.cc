@@ -1,6 +1,23 @@
 #include "src/common/result.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace cortenmm {
+
+namespace internal {
+
+void ResultValueFatal(ErrCode err) {
+  std::fprintf(stderr, "cortenmm: Result::value() on error %s\n", ErrCodeName(err));
+  std::abort();
+}
+
+void ResultOkFatal() {
+  std::fprintf(stderr, "cortenmm: Result constructed from ErrCode::kOk\n");
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* ErrCodeName(ErrCode code) {
   switch (code) {

@@ -4,7 +4,6 @@
 #ifndef SRC_COMMON_RESULT_H_
 #define SRC_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 
 namespace cortenmm {
@@ -24,22 +23,41 @@ enum class ErrCode {
 
 const char* ErrCodeName(ErrCode code);
 
+namespace internal {
+// Aborts with a diagnostic. Always-on (not assert): a missed kNoMem check
+// must fail loudly in release builds too, never read uninitialized storage.
+// The cold attribute keeps the abort call out of the hot text so the
+// accessor check costs one predicted-not-taken branch per dereference.
+[[noreturn]] [[gnu::cold]] void ResultValueFatal(ErrCode err);
+[[noreturn]] [[gnu::cold]] void ResultOkFatal();
+
+inline void CheckOk(ErrCode err) {
+  if (__builtin_expect(err != ErrCode::kOk, 0)) {
+    ResultValueFatal(err);
+  }
+}
+}  // namespace internal
+
 template <typename T>
 class Result {
  public:
   // Implicit conversions keep call sites terse: `return value;` / `return ErrCode::kNoMem;`.
   Result(T value) : err_(ErrCode::kOk), value_(std::move(value)) {}
-  Result(ErrCode err) : err_(err) { assert(err != ErrCode::kOk); }
+  Result(ErrCode err) : err_(err) {
+    if (err == ErrCode::kOk) {
+      internal::ResultOkFatal();
+    }
+  }
 
   bool ok() const { return err_ == ErrCode::kOk; }
   ErrCode error() const { return err_; }
 
   T& value() {
-    assert(ok());
+    internal::CheckOk(err_);
     return value_;
   }
   const T& value() const {
-    assert(ok());
+    internal::CheckOk(err_);
     return value_;
   }
   T value_or(T fallback) const { return ok() ? value_ : fallback; }

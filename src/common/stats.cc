@@ -32,6 +32,8 @@ const char* CounterName(Counter c) {
       return "rcu_freed";
     case Counter::kLockRetries:
       return "lock_retries";
+    case Counter::kLockRetryStorms:
+      return "lock_retry_storms";
     case Counter::kBravoSlowdowns:
       return "bravo_slowdowns";
     case Counter::kVmaSplits:

@@ -28,6 +28,7 @@ enum class Counter : int {
   kRcuRetired,
   kRcuFreed,
   kLockRetries,       // adv protocol stale-retries
+  kLockRetryStorms,   // adv acquisitions that hit the stale-retry cap
   kBravoSlowdowns,    // BRAVO bias revocations
   kVmaSplits,
   kVmaMerges,

@@ -2,8 +2,11 @@
 #include "src/core/addr_space.h"
 
 #include <cassert>
+#include <utility>
 
+#include "src/common/backoff.h"
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
@@ -63,9 +66,12 @@ void DropFrameRef(Pfn pfn) {
 // ---------------------------------------------------------------------------
 
 AddrSpace::AddrSpace(const Options& options)
+    : AddrSpace(options, PageTable(options.arch)) {}
+
+AddrSpace::AddrSpace(const Options& options, PageTable pt)
     : options_(options),
       asid_(g_next_asid.fetch_add(1, std::memory_order_relaxed)),
-      pt_(options.arch),
+      pt_(std::move(pt)),
       va_alloc_(options.per_core_va) {}
 
 AddrSpace::~AddrSpace() {
@@ -174,6 +180,9 @@ void RCursor::AcquireRw() {
     // from reader to writer and make it the covering page. |cur| cannot be
     // freed meanwhile — we hold read locks on all its ancestors.
     mem.Descriptor(cur).rw.ReadUnlock(cookie);
+    // Chaos: widen the unlocked window of the reader->writer upgrade, where a
+    // competing transaction can slip in and change the world under us.
+    FaultInjector::Instance().MaybeStall(FaultSite::kRwLockStall);
     mem.Descriptor(cur).rw.WriteLock();
     covering_ = cur;
     covering_level_ = level;
@@ -194,6 +203,13 @@ void RCursor::AcquireAdv() {
   // One sampling decision covers all three phases of this acquisition, so a
   // sampled acquisition contributes to every phase histogram consistently.
   const bool sampled = AcquireSampler::Sample();
+  // Stale-retry backoff (DESIGN.md §4.5: every spin loop uses the helper).
+  // Under an unmap storm the covering page can go stale repeatedly; spinning
+  // right back into the MCS queue makes the storm worse.
+  SpinBackoff retry_backoff;
+  // An acquisition that retries this many times is pathological; count it so
+  // telemetry surfaces retry storms instead of them hiding in tail latency.
+  constexpr int kRetryStormThreshold = 64;
   for (;;) {  // Retry loop (Figure 6 L2).
     rcu.ReadLock();
     Pfn cur = pt.root();
@@ -213,6 +229,9 @@ void RCursor::AcquireAdv() {
     bool stale;
     {
       ScopedPhaseTimer mcs_timer(LockPhase::kMcsAcquire, sampled);
+      // Chaos: widen the window between the lock-free traversal and the MCS
+      // acquire — exactly where a concurrent unmap can turn |cur| stale.
+      FaultInjector::Instance().MaybeStall(FaultSite::kAdvLockStall);
       mem.Descriptor(cur).mcs.Lock(node);
       stale = mem.Descriptor(cur).stale.load(std::memory_order_acquire);
     }
@@ -223,8 +242,12 @@ void RCursor::AcquireAdv() {
       rcu.ReadUnlock();
       ++acquire_retries_;
       CountEvent(Counter::kLockRetries);
+      if (acquire_retries_ == kRetryStormThreshold) {
+        CountEvent(Counter::kLockRetryStorms);
+      }
       Telemetry::Instance().Trace(TraceKind::kAcquireRetry,
                                   static_cast<uint64_t>(acquire_retries_));
+      retry_backoff.Spin();
       continue;
     }
     rcu.ReadUnlock();
@@ -254,7 +277,10 @@ void RCursor::AcquireAdv() {
         // Create the missing child, locked before it becomes reachable.
         Result<Pfn> created = pt.AllocPtPage(level - 1);
         if (!created.ok()) {
-          break;  // OOM: fall back to the coarser covering page.
+          // OOM: fall back to the coarser covering page — correct, just more
+          // serialized. Nothing to unwind.
+          FaultInjector::NoteSurvived();
+          break;
         }
         child = *created;
         McsNode* child_node = McsNodePool::Get();

@@ -92,6 +92,31 @@ class RCursor {
   // |sub|. COW marks are preserved (hardware write stays off for COW pages).
   VoidResult Protect(VaRange sub, Perm perm);
 
+  // Pre-materializes every PT page a subsequent Mark/Unmap/Protect over |sub|
+  // could need (splitting huge leaves and pushing marks down along the
+  // partially-covered boundary) without changing the virtual-memory contents
+  // of any page — EnsureChild is semantics-preserving. After Prepare succeeds,
+  // those operations over |sub| cannot hit kNoMem, which is what makes them
+  // all-or-nothing: Mark/Unmap/Protect run it internally before mutating
+  // anything, and callers that must order side effects before the mutation
+  // (e.g. dropping swap-block refs before a MAP_FIXED replacement) call it
+  // explicitly first. |for_marks| additionally materializes children of
+  // absent unmarked boundary slots, which a non-invalid Mark writes into.
+  // On kNoMem the address space is unchanged except for extra (empty or
+  // equivalently-marked) PT pages, which every operation treats identically.
+  // Callers are expected to have validated |sub| (the destructive ops do so
+  // before calling); the fast path below deliberately skips re-validation.
+  VoidResult Prepare(VaRange sub, bool for_marks) {
+    // A leaf-level covering page can never allocate: every page-aligned slot
+    // under it is fully covered, so the destructive walk only rewrites PTEs
+    // and metadata in place. This is the common case for small transactions
+    // and keeps the reserve pass off their critical path.
+    if (covering_level_ <= 1) {
+      return VoidResult();
+    }
+    return PrepareSlow(sub, for_marks);
+  }
+
   // Intel MPK (x86-64): tags every mapped page in |sub| with protection key
   // |pkey| (0..15). Enforcement happens in the MMU against the space's PKRU.
   VoidResult SetPkey(VaRange sub, int pkey);
@@ -157,6 +182,9 @@ class RCursor {
 
   VoidResult CloneSubtree(RCursor& child, Pfn parent_page, Pfn child_page, int level);
 
+  VoidResult PrepareSlow(VaRange sub, bool for_marks);
+  VoidResult ReserveIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub,
+                       bool for_marks);
   void UnmapIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub);
   VoidResult MarkIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub,
                     const Status& status);
@@ -216,7 +244,12 @@ class AddrSpace {
     bool per_core_va = true;
   };
 
+  // Aborts loudly if the page-table root cannot be allocated; OOM-propagating
+  // callers create the PageTable via PageTable::Create and use the second
+  // overload.
   explicit AddrSpace(const Options& options);
+  // Adopts a pre-created page table (the fallible construction path).
+  AddrSpace(const Options& options, PageTable pt);
   ~AddrSpace();
   AddrSpace(const AddrSpace&) = delete;
   AddrSpace& operator=(const AddrSpace&) = delete;

@@ -117,6 +117,55 @@ Result<Pfn> RCursor::EnsureChild(Pfn pt_page, int level, uint64_t index) {
   return *child;
 }
 
+// Reserve pass: materialize every PT page the destructive walk over |sub|
+// could allocate, before anything is mutated. Allocation only ever happens at
+// *partially* covered slots (the two boundary chains of the range, O(levels)):
+// a fully covered slot is rewritten in place at this level. EnsureChild and
+// SplitLeaf preserve the virtual-memory contents exactly (split leaves map the
+// same frames, pushed-down marks encode the same status), so running them
+// eagerly is observationally free — and once they have run, the destructive
+// pass finds present tables everywhere it would have allocated and cannot fail.
+VoidResult RCursor::ReserveIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub,
+                              bool for_marks) {
+  if (level <= 1) {
+    return VoidResult();
+  }
+  PageTable& pt = space_->page_table();
+  uint64_t span = PtEntrySpan(level);
+  uint64_t first = (sub.start - page_base) / span;
+  uint64_t last = (sub.end - 1 - page_base) / span;
+  for (uint64_t i = first; i <= last; ++i) {
+    Vaddr entry_va = page_base + i * span;
+    VaRange entry_range(entry_va, entry_va + span);
+    VaRange inter = sub.Intersect(entry_range);
+    if (inter == entry_range) {
+      continue;  // Fully covered: handled at this level, never allocates.
+    }
+    Pte pte = pt.LoadEntry(pt_page, i);
+    bool present = PteIsPresent(pt.arch(), pte);
+    if (!present && LoadMeta(pt_page, i).empty() && !for_marks) {
+      continue;  // Empty slot and the operation will not write marks into it.
+    }
+    Result<Pfn> child = EnsureChild(pt_page, level, i);
+    if (!child.ok()) {
+      return child.error();
+    }
+    VoidResult r = ReserveIn(*child, level - 1, entry_va, inter, for_marks);
+    if (!r.ok()) {
+      return r;
+    }
+  }
+  return VoidResult();
+}
+
+VoidResult RCursor::PrepareSlow(VaRange sub, bool for_marks) {
+  if (!sub.IsPageAligned() || sub.empty() || !range_.Contains(sub)) {
+    return ErrCode::kInval;
+  }
+  Vaddr covering_base = AlignDown(range_.start, PtPageSpan(covering_level_));
+  return ReserveIn(covering_, covering_level_, covering_base, sub, for_marks);
+}
+
 void RCursor::ClearLeaf(Pfn pt_page, int level, uint64_t index, Vaddr va) {
   PageTable& pt = space_->page_table();
   PhysMem& mem = PhysMem::Instance();
@@ -283,17 +332,21 @@ VoidResult RCursor::CloneSubtree(RCursor& child, Pfn parent_page, Pfn child_page
       continue;
     }
     // Table entry: allocate the child's counterpart (born locked in the
-    // child's cursor) and recurse.
+    // child's cursor) and recurse. On failure the present count accumulated
+    // so far must still be persisted — the caller tears the partial clone
+    // down through the normal unmap path, which decrements it per slot.
     Result<Pfn> clone = child_pt.AllocPtPage(level - 1);
     if (!clone.ok()) {
+      mem.Descriptor(child_page).present_ptes.store(--present, std::memory_order_relaxed);
       return clone.error();
     }
     child.NoteLocked(*clone, level - 1);
     VoidResult r = CloneSubtree(child, PtePfn(arch, pte), *clone, level - 1);
+    child_pt.StoreEntry(child_page, i, MakeTablePte(arch, *clone));
     if (!r.ok()) {
+      mem.Descriptor(child_page).present_ptes.store(present, std::memory_order_relaxed);
       return r;
     }
-    child_pt.StoreEntry(child_page, i, MakeTablePte(arch, *clone));
   }
   mem.Descriptor(child_page).present_ptes.store(present, std::memory_order_relaxed);
   return VoidResult();
@@ -358,6 +411,14 @@ VoidResult RCursor::Unmap(VaRange sub) {
   if (!sub.IsPageAligned() || sub.empty() || !range_.Contains(sub)) {
     return ErrCode::kInval;
   }
+  // All-or-nothing: take every allocation up front. If this fails the address
+  // space is semantically unchanged and the caller sees kNoMem; afterwards the
+  // destructive walk below cannot allocate (its EnsureChild calls find the
+  // tables Prepare installed), so it cannot fail part-way.
+  VoidResult reserved = Prepare(sub, /*for_marks=*/false);
+  if (!reserved.ok()) {
+    return reserved;
+  }
   Vaddr covering_base = AlignDown(range_.start, PtPageSpan(covering_level_));
   UnmapIn(covering_, covering_level_, covering_base, sub);
   return VoidResult();
@@ -397,9 +458,12 @@ VoidResult RCursor::MarkIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub,
       }
       continue;
     }
+    if (!present && LoadMeta(pt_page, i).empty() && status.invalid()) {
+      continue;  // Erasing marks from an empty slot: nothing to do.
+    }
     Result<Pfn> child = EnsureChild(pt_page, level, i);
     if (!child.ok()) {
-      return child.error();
+      return child.error();  // Unreachable after a successful Prepare.
     }
     VoidResult r = MarkIn(*child, level - 1, entry_va, inter,
                           OffsetStatus(status, (inter.start - sub.start) >> kPageBits));
@@ -416,6 +480,12 @@ VoidResult RCursor::Mark(VaRange sub, const Status& status) {
   }
   if (status.mapped()) {
     return ErrCode::kInval;  // Mapped state is created with Map, not Mark.
+  }
+  // A non-invalid mark writes into empty boundary slots, so those children
+  // must be reserved too; erasing (invalid status) skips empty slots.
+  VoidResult reserved = Prepare(sub, /*for_marks=*/!status.invalid());
+  if (!reserved.ok()) {
+    return reserved;
   }
   Vaddr covering_base = AlignDown(range_.start, PtPageSpan(covering_level_));
   return MarkIn(covering_, covering_level_, covering_base, sub, status);
@@ -538,6 +608,12 @@ VoidResult RCursor::SetLeafPerm(Vaddr addr, Perm perm) {
 VoidResult RCursor::Protect(VaRange sub, Perm perm) {
   if (!sub.IsPageAligned() || sub.empty() || !range_.Contains(sub)) {
     return ErrCode::kInval;
+  }
+  // Reserve the boundary splits up front so no slot is silently skipped on
+  // OOM: either every page in |sub| is reprotected or none is.
+  VoidResult reserved = Prepare(sub, /*for_marks=*/false);
+  if (!reserved.ok()) {
+    return reserved;
   }
   Vaddr covering_base = AlignDown(range_.start, PtPageSpan(covering_level_));
   ProtectIn(covering_, covering_level_, covering_base, sub, perm);

@@ -1,8 +1,10 @@
 #include "src/core/vm_space.h"
 
 #include <cassert>
+#include <utility>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
@@ -42,6 +44,17 @@ void DropSwapRefs(RCursor& cursor, VaRange range) {
 
 VmSpace::VmSpace(const AddrSpace::Options& options) : space_(options) {}
 
+VmSpace::VmSpace(const AddrSpace::Options& options, PageTable pt)
+    : space_(options, std::move(pt)) {}
+
+Result<std::unique_ptr<VmSpace>> VmSpace::Create(const AddrSpace::Options& options) {
+  Result<PageTable> pt = PageTable::Create(options.arch);
+  if (!pt.ok()) {
+    return pt.error();
+  }
+  return std::unique_ptr<VmSpace>(new VmSpace(options, std::move(*pt)));
+}
+
 VmSpace::~VmSpace() {
   // Release swap blocks still referenced by marks; the AddrSpace destructor
   // then tears down the page table itself through the transactional interface.
@@ -76,6 +89,13 @@ VoidResult VmSpace::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
   len = AlignUp(len, kPageSize);
   VaRange range(va, va + len);
   RCursor cursor = space_.Lock(range);
+  // Reserve every PT page the replacement could need *before* the destructive
+  // pass: DropSwapRefs consumes block references, so it must not run while the
+  // replacement can still fail. After Prepare, Mark cannot hit kNoMem.
+  VoidResult reserved = cursor.Prepare(range, /*for_marks=*/true);
+  if (!reserved.ok()) {
+    return reserved;
+  }
   // MAP_FIXED semantics: whatever was there is replaced atomically — swapped
   // pages being replaced give their blocks back.
   DropSwapRefs(cursor, range);
@@ -140,8 +160,14 @@ VoidResult VmSpace::Munmap(Vaddr va, uint64_t len) {
   len = AlignUp(len, kPageSize);
   VaRange range(va, va + len);
   {
-    // Figure 8, do_syscall_munmap: one transaction, one Unmap.
+    // Figure 8, do_syscall_munmap: one transaction, one Unmap. Reserve the
+    // boundary splits first so block references are only dropped once the
+    // unmap is guaranteed to go through.
     RCursor cursor = space_.Lock(range);
+    VoidResult reserved = cursor.Prepare(range, /*for_marks=*/false);
+    if (!reserved.ok()) {
+      return reserved;
+    }
     DropSwapRefs(cursor, range);  // Swapped pages lose their blocks.
     VoidResult r = cursor.Unmap(range);
     if (!r.ok()) {
@@ -209,7 +235,14 @@ VoidResult VmSpace::FaultInPage(RCursor& cursor, Vaddr page_va, const Status& st
         return frame.error();
       }
       CountEvent(Counter::kDemandZeroFills);
-      return cursor.Map(page_va, *frame, status.perm);
+      VoidResult mapped = cursor.Map(page_va, *frame, status.perm);
+      if (!mapped.ok()) {
+        // The frame was never installed; dropping our reference restores the
+        // space and the allocator to their pre-fault state.
+        DropFrameRef(*frame);
+        FaultInjector::NoteRolledBack();
+      }
+      return mapped;
     }
 
     case StatusTag::kPrivateFileMapped: {
@@ -231,12 +264,22 @@ VoidResult VmSpace::FaultInPage(RCursor& cursor, Vaddr page_va, const Status& st
           return frame.error();
         }
         PhysMem::Instance().CopyFrame(*frame, *cached);
-        return cursor.Map(page_va, *frame, status.perm);
+        VoidResult mapped = cursor.Map(page_va, *frame, status.perm);
+        if (!mapped.ok()) {
+          DropFrameRef(*frame);
+          FaultInjector::NoteRolledBack();
+        }
+        return mapped;
       }
       // Private read: share the cache frame, hardware read-only + COW mark.
       AddFrameRef(*cached);
       Perm cow_perm = status.perm.With(Perm::kCow).Without(Perm::kWrite);
-      return cursor.Map(page_va, *cached, cow_perm);
+      VoidResult mapped = cursor.Map(page_va, *cached, cow_perm);
+      if (!mapped.ok()) {
+        DropFrameRef(*cached);
+        FaultInjector::NoteRolledBack();
+      }
+      return mapped;
     }
 
     case StatusTag::kSharedAnon: {
@@ -249,7 +292,12 @@ VoidResult VmSpace::FaultInPage(RCursor& cursor, Vaddr page_va, const Status& st
         return ErrCode::kFault;
       }
       AddFrameRef(*cached);
-      return cursor.Map(page_va, *cached, status.perm);
+      VoidResult mapped = cursor.Map(page_va, *cached, status.perm);
+      if (!mapped.ok()) {
+        DropFrameRef(*cached);
+        FaultInjector::NoteRolledBack();
+      }
+      return mapped;
     }
 
     case StatusTag::kSwapped: {
@@ -260,10 +308,21 @@ VoidResult VmSpace::FaultInPage(RCursor& cursor, Vaddr page_va, const Status& st
       VoidResult read = SwapDevice::Instance().ReadBlock(
           status.page_offset, PhysMem::Instance().FrameData(*frame));
       if (!read.ok()) {
+        DropFrameRef(*frame);
+        FaultInjector::NoteRolledBack();
         return read;
       }
+      VoidResult mapped = cursor.Map(page_va, *frame, status.perm);
+      if (!mapped.ok()) {
+        DropFrameRef(*frame);
+        FaultInjector::NoteRolledBack();
+        return mapped;
+      }
+      // The Swapped mark was consumed by the map; only now is it safe to give
+      // up the block reference it carried (dropping earlier would double-free
+      // the block if the map failed and the mark survived).
       SwapDevice::Instance().DropBlockRef(status.page_offset);
-      return cursor.Map(page_va, *frame, status.perm);
+      return mapped;
     }
 
     default:
@@ -303,7 +362,12 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
       }
       PhysMem::Instance().CopyFrame(*copy, status.pfn);
       Perm p = perm.Without(Perm::kCow).With(Perm::kWrite);
-      return cursor.Map(page_va, *copy, p);  // Unmaps + unrefs the shared frame.
+      VoidResult mapped = cursor.Map(page_va, *copy, p);  // Unmaps + unrefs the shared frame.
+      if (!mapped.ok()) {
+        DropFrameRef(*copy);  // Shared frame stays installed; drop only the copy.
+        FaultInjector::NoteRolledBack();
+      }
+      return mapped;
     }
     // Permission check against a mapped page (e.g. a racing thread already
     // resolved this fault: simply return success and let the access retry).
@@ -371,12 +435,17 @@ Result<uint64_t> VmSpace::SwapOut(Vaddr va, uint64_t len) {
 
   uint64_t swapped = 0;
   for (const Victim& victim : victims) {
+    VaRange page(victim.va, victim.va + kPageSize);
+    // Reserve the boundary splits before committing anything: once the swap
+    // block is written, the unmap + mark below must not be able to fail.
+    if (!cursor.Prepare(page, /*for_marks=*/true).ok()) {
+      break;
+    }
     Result<uint32_t> block =
         SwapDevice::Instance().WriteNewBlock(PhysMem::Instance().FrameData(victim.pfn));
     if (!block.ok()) {
       break;
     }
-    VaRange page(victim.va, victim.va + kPageSize);
     cursor.Unmap(page);
     Perm perm = victim.perm.Without(Perm::kCow);
     cursor.Mark(page, Status::Swapped(0, *block, perm));
@@ -391,16 +460,32 @@ Result<uint64_t> VmSpace::SwapOut(Vaddr va, uint64_t len) {
 
 std::unique_ptr<VmSpace> VmSpace::Fork() {
   ScopedOpTimer telemetry_timer(MmOp::kFork);
-  auto child = std::make_unique<VmSpace>(space_.options());
+  Result<std::unique_ptr<VmSpace>> child = Create(space_.options());
+  if (!child.ok()) {
+    FaultInjector::NoteSurvived();
+    return nullptr;
+  }
   VaRange everything(0, kVaLimit);
 
   // One transaction over each whole address space; the clone then copies the
   // page table level by level (PT-page-shaped, not page-by-page). The child is
   // private to this thread, so parent-then-child lock order cannot deadlock.
-  RCursor parent_cursor = space_.Lock(everything);
-  RCursor child_cursor = child->space_.Lock(everything);
-  parent_cursor.CloneInto(child_cursor);
-  return child;
+  bool cloned;
+  {
+    RCursor parent_cursor = space_.Lock(everything);
+    RCursor child_cursor = (*child)->space_.Lock(everything);
+    cloned = parent_cursor.CloneInto(child_cursor).ok();
+  }
+  if (!cloned) {
+    // Partial clone: destroying the child (after its cursor unlocked) walks
+    // its tree through the normal teardown path, returning every frame
+    // reference and swap-block reference the clone took. The parent's pages
+    // may have gained COW protection, which is semantically invisible.
+    child->reset();
+    FaultInjector::NoteRolledBack();
+    return nullptr;
+  }
+  return std::move(*child);
 }
 
 uint64_t VmSpace::ResidentPages() {

@@ -16,7 +16,14 @@ namespace cortenmm {
 
 class VmSpace {
  public:
+  // Aborts loudly if the page-table root cannot be allocated; use Create for
+  // the propagating path.
   explicit VmSpace(const AddrSpace::Options& options);
+  // Adopts a pre-created page table (the fallible construction path).
+  VmSpace(const AddrSpace::Options& options, PageTable pt);
+  // Fallible construction: returns kNoMem instead of aborting when the
+  // page-table root cannot be allocated.
+  static Result<std::unique_ptr<VmSpace>> Create(const AddrSpace::Options& options);
   ~VmSpace();
   VmSpace(const VmSpace&) = delete;
   VmSpace& operator=(const VmSpace&) = delete;
@@ -60,7 +67,10 @@ class VmSpace {
   Result<uint64_t> SwapOut(Vaddr va, uint64_t len);
 
   // fork(): duplicates every mapping into a new space; private writable pages
-  // become copy-on-write in both parent and child (§4.3).
+  // become copy-on-write in both parent and child (§4.3). Returns nullptr on
+  // kNoMem; a partially-cloned child is torn down before returning, so the
+  // parent is left exactly as it was (modulo COW-protected PTEs, which are
+  // semantically unchanged).
   std::unique_ptr<VmSpace> Fork();
 
   // Total resident pages currently mapped (for memory accounting).

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 
 namespace cortenmm {
 
@@ -333,7 +334,14 @@ std::string Telemetry::DumpJson(const std::string& label) const {
     os << "\"" << CounterName(c) << "\":" << total;
   }
   os << "},\"trace\":{\"recorded\":" << trace_.Recorded()
-     << ",\"dropped\":" << trace_.Dropped() << "}}";
+     << ",\"dropped\":" << trace_.Dropped() << "}";
+  // Chaos-mode accounting: per-site injected/survived/rolled-back counters.
+  // Omitted entirely when no fault site was ever checked (the common case).
+  std::string faults = FaultInjector::Instance().DumpJson();
+  if (faults != "{}") {
+    os << ",\"faults\":" << faults;
+  }
+  os << "}";
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/pmm/page_desc.h"
 #include "src/pmm/phys_mem.h"
 
@@ -122,6 +123,9 @@ void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
 
 Result<Pfn> BuddyAllocator::AllocBlock(int order) {
   assert(order >= 0 && order <= kMaxOrder);
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocBlock)) {
+    return ErrCode::kNoMem;
+  }
   Result<Pfn> result = [&] {
     SpinGuard guard(lock_);
     return AllocBlockLocked(order);
@@ -142,6 +146,9 @@ void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
 }
 
 Result<Pfn> BuddyAllocator::AllocFrame() {
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocFrame)) {
+    return ErrCode::kNoMem;
+  }
   CpuCache& cache = cpu_caches_[CurrentCpu()].value;
   {
     SpinGuard guard(cache.lock);

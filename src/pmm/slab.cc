@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/fault/fault_inject.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/page_desc.h"
 #include "src/pmm/phys_mem.h"
@@ -47,6 +48,9 @@ bool SlabCache::GrowLocked() {
 }
 
 void* SlabCache::Alloc() {
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kSlabAlloc)) {
+    return nullptr;
+  }
   Magazine& mag = magazines_[CurrentCpu()].value;
   {
     SpinGuard guard(mag.lock);

@@ -1,6 +1,7 @@
 #include "src/pt/page_table.h"
 
 #include <cassert>
+#include <utility>
 
 #include "src/common/stats.h"
 #include "src/pmm/buddy.h"
@@ -30,13 +31,26 @@ const char* ArchName(Arch arch) {
   return "unknown";
 }
 
+Result<PageTable> PageTable::Create(Arch arch) {
+  PageTable pt;
+  pt.arch_ = arch;
+  Result<Pfn> root = pt.AllocPtPage(kPtLevels);
+  if (!root.ok()) {
+    return root.error();
+  }
+  pt.root_ = *root;
+  return pt;
+}
+
 PageTable::PageTable(Arch arch) : arch_(arch) {
-  Result<Pfn> root = AllocPtPage(kPtLevels);
-  assert(root.ok() && "physical memory exhausted allocating a page table root");
-  root_ = *root;
+  // *Create(...) aborts loudly on kNoMem (Result's always-fatal accessor).
+  *this = std::move(*Create(arch));
 }
 
 PageTable::~PageTable() {
+  if (root_ == kInvalidPfn) {
+    return;  // Rootless (moved-from or failed Create staging value).
+  }
   // Free the whole radix tree. Data frames are the owner's responsibility;
   // only PT pages (and their metadata arrays) are released here.
   ForEachPtPagePostOrder(root_, kPtLevels, [](Pfn pfn, int level) {

@@ -17,8 +17,31 @@ namespace cortenmm {
 
 class PageTable {
  public:
+  // Fallible factory: allocating the root PT page can exhaust physical
+  // memory, so fallible paths (fork, replica creation, MakeMm) construct
+  // through Create and propagate kNoMem.
+  static Result<PageTable> Create(Arch arch);
+
+  // Allocating constructor for call sites that cannot propagate (member
+  // initializers, stack-constructed spaces in tests/benches): aborts with a
+  // diagnostic on kNoMem — loud, never undefined behavior.
   explicit PageTable(Arch arch);
+  // Rootless table: root() is kInvalidPfn and destruction is a no-op. Exists
+  // as the moved-from state and so Result<PageTable> can default-construct.
+  PageTable() = default;
   ~PageTable();
+  PageTable(PageTable&& other) noexcept : arch_(other.arch_), root_(other.root_) {
+    other.root_ = kInvalidPfn;
+  }
+  PageTable& operator=(PageTable&& other) noexcept {
+    if (this != &other) {
+      this->~PageTable();
+      arch_ = other.arch_;
+      root_ = other.root_;
+      other.root_ = kInvalidPfn;
+    }
+    return *this;
+  }
   PageTable(const PageTable&) = delete;
   PageTable& operator=(const PageTable&) = delete;
 
@@ -70,8 +93,8 @@ class PageTable {
   void ForEachLeafIn(Pfn pt_page, int level, Vaddr page_va_base, VaRange range,
                      const std::function<void(Vaddr, Pte, int)>& visit) const;
 
-  Arch arch_;
-  Pfn root_;
+  Arch arch_ = Arch::kX86_64;
+  Pfn root_ = kInvalidPfn;
 };
 
 // Index of the slot in the level-|level| PT page covering |va| (re-exported

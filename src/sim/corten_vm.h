@@ -58,7 +58,11 @@ class CortenVm final : public MmInterface {
     return vm_->SwapOut(va, len);
   }
   std::unique_ptr<MmInterface> Fork() override {
-    return std::make_unique<CortenVm>(vm_->Fork());
+    std::unique_ptr<VmSpace> child = vm_->Fork();
+    if (child == nullptr) {
+      return nullptr;  // kNoMem during the clone; parent is unchanged.
+    }
+    return std::make_unique<CortenVm>(std::move(child));
   }
 
   uint32_t Pkru() const override { return vm_->addr_space().pkru(); }

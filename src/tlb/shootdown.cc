@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
 
 namespace cortenmm {
@@ -105,12 +106,16 @@ void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPoli
   // remote flush work overlaps; the initiator does not serialize on acks).
   if (policy == TlbPolicy::kSync) {
     for (CpuId cpu : targets) {
+      // Chaos: a straggler target delays before servicing the invalidation
+      // IPI, so the initiator's serial ack wait stretches.
+      FaultInjector::Instance().MaybeStall(FaultSite::kShootdownStraggler);
       CpuTlb(cpu).InvalidateRange(asid, range);
       // Serial ack round trip: a full acquire/release per target is already
       // enforced by the per-TLB lock; nothing further to model.
     }
   } else {  // kEarlyAck
     for (CpuId cpu : targets) {
+      FaultInjector::Instance().MaybeStall(FaultSite::kShootdownStraggler);
       CpuTlb(cpu).InvalidateRange(asid, range);
     }
   }
@@ -145,6 +150,9 @@ void TlbSystem::Tick(CpuId cpu) {
         }
         bool done = false;
         if (is_target) {
+          // Chaos: a lazy-TLB straggler acks an entry late (LATR's whole bet
+          // is that this is tolerable; the chaos suite verifies it).
+          FaultInjector::Instance().MaybeStall(FaultSite::kShootdownStraggler);
           CpuTlb(cpu).InvalidateRange(entry->asid, entry->range);
           CountEvent(Counter::kTlbLazyFlushes);
           done = entry->TryAck(cpu);

@@ -2,8 +2,11 @@
 
 #include <string>
 
+#include "src/pmm/buddy.h"
 #include "src/pmm/page_desc.h"
 #include "src/pmm/phys_mem.h"
+#include "src/sync/rcu.h"
+#include "src/tlb/shootdown.h"
 
 namespace cortenmm {
 namespace {
@@ -81,6 +84,21 @@ void CheckPtPage(AddrSpace& space, Pfn page, int level, WfReport* report) {
 WfReport CheckWellFormed(AddrSpace& space) {
   WfReport report;
   CheckPtPage(space, space.page_table().root(), kPtLevels, &report);
+  return report;
+}
+
+LeakReport CheckFrameLeaks(uint64_t baseline_free_frames) {
+  // Reclamation is deferred in three places; drain all of them so every frame
+  // that is *going* to come back has come back before we compare.
+  TlbSystem::Instance().DrainAll();
+  Rcu::Instance().DrainAll();
+  BuddyAllocator::Instance().FlushCpuCaches();
+  LeakReport report;
+  report.baseline_free = baseline_free_frames;
+  report.current_free = BuddyAllocator::Instance().FreeFrameCount();
+  report.leaked = static_cast<int64_t>(baseline_free_frames) -
+                  static_cast<int64_t>(report.current_free);
+  report.ok = report.leaked == 0;
   return report;
 }
 

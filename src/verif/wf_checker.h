@@ -34,6 +34,22 @@ struct WfReport {
 // Walks the entire page table of |space| and validates the invariants.
 WfReport CheckWellFormed(AddrSpace& space);
 
+// Frame-leak check for chaos runs. The caller snapshots
+// BuddyAllocator::Instance().FreeFrameCount() (after FlushCpuCaches) before
+// the run; once every address space created during the run is destroyed,
+// CheckFrameLeaks drains the deferred-reclamation machinery (per-CPU buddy
+// caches, LATR shootdown buffers, RCU callbacks) and compares. A shortfall
+// means a frame allocated during the run was neither mapped nor returned —
+// exactly the leak a botched OOM rollback would cause.
+struct LeakReport {
+  bool ok = true;
+  uint64_t baseline_free = 0;
+  uint64_t current_free = 0;
+  int64_t leaked = 0;  // baseline - current; negative would mean a double free.
+};
+
+LeakReport CheckFrameLeaks(uint64_t baseline_free_frames);
+
 }  // namespace cortenmm
 
 #endif  // SRC_VERIF_WF_CHECKER_H_

@@ -1,0 +1,237 @@
+// Chaos-mode invariant testing: multi-threaded mmap/fault/mprotect/munmap/fork
+// traffic while the fault injector forces allocator exhaustion, shootdown
+// stragglers, and lock-acquisition stalls. The MM must degrade gracefully —
+// operations may fail with kNoMem, but nothing may crash, the page table must
+// stay well-formed, and every frame allocated during the run must be either
+// mapped or back in the buddy allocator when the spaces are destroyed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/cpu.h"
+#include "src/common/rng.h"
+#include "src/core/vm_space.h"
+#include "src/fault/fault_inject.h"
+#include "src/pmm/buddy.h"
+#include "src/sync/rcu.h"
+#include "src/tlb/shootdown.h"
+#include "src/verif/wf_checker.h"
+
+namespace cortenmm {
+namespace {
+
+#if CORTENMM_FAULTINJ
+
+enum class ChaosSchedule {
+  kNoMem,        // 2% of buddy allocations fail.
+  kNoMemBurst,   // Allocations 201..264 (site-globally) fail, then recover.
+  kStraggler,    // 10% of shootdown targets stall before invalidating.
+  kLockStall,    // 10% of lock acquisitions stall in their widest race window.
+  kMixed,        // Everything at once, lighter.
+};
+
+const char* ScheduleName(ChaosSchedule schedule) {
+  switch (schedule) {
+    case ChaosSchedule::kNoMem:
+      return "NoMem";
+    case ChaosSchedule::kNoMemBurst:
+      return "NoMemBurst";
+    case ChaosSchedule::kStraggler:
+      return "Straggler";
+    case ChaosSchedule::kLockStall:
+      return "LockStall";
+    case ChaosSchedule::kMixed:
+      return "Mixed";
+  }
+  return "Unknown";
+}
+
+bool InjectsNoMem(ChaosSchedule schedule) {
+  return schedule == ChaosSchedule::kNoMem || schedule == ChaosSchedule::kNoMemBurst ||
+         schedule == ChaosSchedule::kMixed;
+}
+
+void ArmSchedule(ChaosSchedule schedule) {
+  FaultInjector& inj = FaultInjector::Instance();
+  FaultConfig nomem;
+  nomem.prob_num = 2;
+  nomem.prob_den = 100;
+  FaultConfig stall;
+  stall.prob_num = 10;
+  stall.prob_den = 100;
+  stall.stall_spins = 200;
+  switch (schedule) {
+    case ChaosSchedule::kNoMem:
+      inj.Enable(FaultSite::kBuddyAllocFrame, nomem);
+      inj.Enable(FaultSite::kBuddyAllocBlock, nomem);
+      break;
+    case ChaosSchedule::kNoMemBurst: {
+      FaultConfig burst;
+      burst.fail_after = 200;
+      burst.max_injections = 64;
+      inj.Enable(FaultSite::kBuddyAllocFrame, burst);
+      break;
+    }
+    case ChaosSchedule::kStraggler:
+      inj.Enable(FaultSite::kShootdownStraggler, stall);
+      break;
+    case ChaosSchedule::kLockStall:
+      inj.Enable(FaultSite::kAdvLockStall, stall);
+      inj.Enable(FaultSite::kRwLockStall, stall);
+      break;
+    case ChaosSchedule::kMixed: {
+      FaultConfig light_nomem = nomem;
+      light_nomem.prob_num = 1;
+      FaultConfig light_stall = stall;
+      light_stall.prob_num = 5;
+      light_stall.stall_spins = 100;
+      inj.Enable(FaultSite::kBuddyAllocFrame, light_nomem);
+      inj.Enable(FaultSite::kBuddyAllocBlock, light_nomem);
+      inj.Enable(FaultSite::kShootdownStraggler, light_stall);
+      inj.Enable(FaultSite::kAdvLockStall, light_stall);
+      inj.Enable(FaultSite::kRwLockStall, light_stall);
+      break;
+    }
+  }
+}
+
+struct ChaosParam {
+  Protocol protocol;
+  ChaosSchedule schedule;
+};
+
+class ChaosTest : public ::testing::TestWithParam<ChaosParam> {
+ protected:
+  void TearDown() override {
+    FaultInjector::Instance().DisableAll();
+    FaultInjector::Instance().ResetCounters();
+  }
+};
+
+int ChaosThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 4 ? 4 : 2;
+}
+
+// One worker's traffic: mmap a small region, fault it in, occasionally
+// reprotect or fork, then unmap. Every operation is allowed to fail with
+// kNoMem (that is the point); what is not allowed is a crash or a lost frame.
+void ChaosWorker(VmSpace* space, int tid, int iters, std::atomic<uint64_t>* successes) {
+  BindThisThreadToCpu(tid);
+  FaultInjector::SeedThread(0x5eedull ^ static_cast<uint64_t>(tid));
+  Rng rng(0xc4a05ull + static_cast<uint64_t>(tid));
+  for (int i = 0; i < iters; ++i) {
+    uint64_t pages = rng.Range(4, 17);  // 16 KiB .. 64 KiB.
+    uint64_t len = pages << kPageBits;
+    Result<Vaddr> va = space->MmapAnon(len, Perm::RW());
+    if (!va.ok()) {
+      continue;  // kNoMem: survived, try again.
+    }
+    successes->fetch_add(1, std::memory_order_relaxed);
+    for (uint64_t p = 0; p < pages; ++p) {
+      // kNoMem or kFault are acceptable; the page simply stays virtual.
+      (void)space->HandleFault(*va + (p << kPageBits), Access::kWrite);
+    }
+    if (rng.Chance(1, 4)) {
+      (void)space->Mprotect(*va, len, Perm::R());
+      (void)space->Mprotect(*va, len, Perm::RW());
+    }
+    if (rng.Chance(1, 32)) {
+      std::unique_ptr<VmSpace> child = space->Fork();
+      if (child != nullptr) {
+        // The child inherits the region COW; touch one page, then drop it.
+        (void)child->HandleFault(*va, Access::kWrite);
+      }
+    }
+    // Unmap in two halves half the time so boundary splits get exercised.
+    if (pages >= 2 && rng.Chance(1, 2)) {
+      uint64_t half = (pages / 2) << kPageBits;
+      (void)space->Munmap(*va, half);
+      (void)space->Munmap(*va + half, len - half);
+    } else {
+      (void)space->Munmap(*va, len);
+    }
+  }
+}
+
+TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
+  // Quiesce and snapshot the allocator before anything is created.
+  TlbSystem::Instance().DrainAll();
+  Rcu::Instance().DrainAll();
+  BuddyAllocator::Instance().FlushCpuCaches();
+  uint64_t baseline_free = BuddyAllocator::Instance().FreeFrameCount();
+
+  {
+    AddrSpace::Options options;
+    options.protocol = GetParam().protocol;
+    auto space = std::make_unique<VmSpace>(options);
+
+    ArmSchedule(GetParam().schedule);
+    int threads = ChaosThreads();
+    constexpr int kIters = 300;
+    std::atomic<uint64_t> successes{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back(ChaosWorker, space.get(), t, kIters, &successes);
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+    FaultInjector::Instance().DisableAll();
+
+    // The run must have made progress and (for kNoMem schedules) actually
+    // exercised the failure paths.
+    EXPECT_GT(successes.load(), 0u);
+    if (InjectsNoMem(GetParam().schedule)) {
+      EXPECT_GT(FaultInjector::Instance().TotalInjected(), 0u)
+          << FaultInjector::Instance().DumpJson();
+    }
+
+    // Quiesced structural check: the tree survived the chaos intact.
+    WfReport report = CheckWellFormed(space->addr_space());
+    EXPECT_TRUE(report.ok) << report.first_error;
+  }
+
+  // Every frame allocated during the run was either freed by an unmap or by
+  // the space's destruction; a botched rollback shows up as a shortfall here.
+  LeakReport leaks = CheckFrameLeaks(baseline_free);
+  EXPECT_TRUE(leaks.ok) << "leaked " << leaks.leaked << " frames (baseline "
+                        << leaks.baseline_free << ", now " << leaks.current_free << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ChaosTest,
+    ::testing::Values(ChaosParam{Protocol::kAdv, ChaosSchedule::kNoMem},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kNoMemBurst},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kStraggler},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kLockStall},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMixed},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kNoMem},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kStraggler},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kLockStall},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kMixed}),
+    [](const ::testing::TestParamInfo<ChaosParam>& info) {
+      std::string name = std::string(ProtocolName(info.param.protocol)) + "_" +
+                         ScheduleName(info.param.schedule);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+#else  // !CORTENMM_FAULTINJ
+
+TEST(ChaosTest, CompiledOut) {
+  GTEST_SKIP() << "built with -DCORTENMM_FAULTINJ=OFF";
+}
+
+#endif  // CORTENMM_FAULTINJ
+
+}  // namespace
+}  // namespace cortenmm

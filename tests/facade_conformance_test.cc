@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/core/backing.h"
+#include "src/fault/fault_inject.h"
 #include "src/sim/bench_util.h"
 
 namespace cortenmm {
@@ -114,6 +115,83 @@ TEST_P(FacadeConformanceTest, ForkSupportedOrNull) {
   }
   EXPECT_TRUE(mm->Munmap(*va, kLen).ok());
 }
+
+#if CORTENMM_FAULTINJ
+
+// Disarms the injector even when an EXPECT fails mid-test.
+struct ScopedInjection {
+  ~ScopedInjection() {
+    FaultInjector::Instance().DisableAll();
+    FaultInjector::Instance().ResetCounters();
+  }
+};
+
+// The OOM contract every manager must honor through the facade: when the
+// frame allocator refuses, an operation reports kNoMem (never crashes, never
+// asserts), prior mappings are untouched, and the manager recovers fully once
+// memory returns.
+TEST_P(FacadeConformanceTest, NoMemSurfacesAsErrorNotCrash) {
+  std::unique_ptr<MmInterface> mm = MakeMm(GetParam());
+  ASSERT_NE(mm, nullptr);
+
+  // Region A: established while memory is plentiful; must survive untouched.
+  Result<Vaddr> a = mm->MmapAnon(kLen, Perm::RW());
+  ASSERT_TRUE(a.ok());
+  if (mm->demand_paging()) {
+    for (uint64_t off = 0; off < kLen; off += kPageSize) {
+      ASSERT_TRUE(mm->HandleFault(*a + off, Access::kWrite).ok());
+    }
+  }
+
+  ScopedInjection disarm_on_exit;
+  FaultConfig always;
+  always.fail_after = 0;  // Every frame allocation fails.
+  FaultInjector::Instance().Enable(FaultSite::kBuddyAllocFrame, always);
+  FaultInjector::Instance().Enable(FaultSite::kBuddyAllocBlock, always);
+
+  // Every facade op must come back ok or kNoMem — which one depends on
+  // whether the manager's metadata path needed a fresh PT page, so only the
+  // error-code discipline is pinned, not the split.
+  auto ok_or_nomem = [](const VoidResult& r) {
+    return r.ok() || r.error() == ErrCode::kNoMem;
+  };
+  Result<Vaddr> b = mm->MmapAnon(kLen, Perm::RW());
+  EXPECT_TRUE(b.ok() || b.error() == ErrCode::kNoMem);
+  bool b_faulted_in = true;
+  if (b.ok() && mm->demand_paging()) {
+    for (uint64_t off = 0; off < kLen; off += kPageSize) {
+      VoidResult fault = mm->HandleFault(*b + off, Access::kWrite);
+      EXPECT_TRUE(ok_or_nomem(fault));
+      b_faulted_in = b_faulted_in && fault.ok();
+    }
+    // With every allocation failing, an anon fault cannot produce a frame.
+    EXPECT_FALSE(b_faulted_in);
+  }
+  EXPECT_TRUE(ok_or_nomem(mm->Mprotect(*a, kLen, Perm::R())));
+  EXPECT_TRUE(ok_or_nomem(mm->Mprotect(*a, kLen, Perm::RW())));
+  // fork() needs a fresh page-table root, which cannot be had: every manager
+  // must hand back nullptr, not a half-cloned child.
+  EXPECT_EQ(mm->Fork(), nullptr);
+
+  FaultInjector::Instance().DisableAll();
+
+  // Recovery: region A is still fully usable, and whatever B's state is, the
+  // manager completes the faults now that memory is back.
+  if (mm->demand_paging()) {
+    EXPECT_TRUE(mm->HandleFault(*a, Access::kWrite).ok());
+  }
+  if (b.ok()) {
+    if (mm->demand_paging()) {
+      for (uint64_t off = 0; off < kLen; off += kPageSize) {
+        EXPECT_TRUE(mm->HandleFault(*b + off, Access::kWrite).ok());
+      }
+    }
+    EXPECT_TRUE(mm->Munmap(*b, kLen).ok());
+  }
+  EXPECT_TRUE(mm->Munmap(*a, kLen).ok());
+}
+
+#endif  // CORTENMM_FAULTINJ
 
 INSTANTIATE_TEST_SUITE_P(AllManagers, FacadeConformanceTest,
                          ::testing::ValuesIn(ComparisonSet()),
