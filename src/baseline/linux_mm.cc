@@ -9,6 +9,7 @@
 #include "src/core/addr_space.h"  // DropFrameRef / AddFrameRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
+#include "src/tlb/gather.h"
 
 namespace cortenmm {
 namespace {
@@ -248,13 +249,18 @@ void LinuxVmaMm::DoMunmapLocked(VaRange range) {
     }
     vmas_.Erase(vma);
   }
-  // unmap_vmas() + free_page_tables().
+  // unmap_vmas() + free_page_tables(), batched mmu_gather-style: the ranges
+  // and dead frames accumulate and flush as one shootdown.
   std::vector<Pfn> dead_frames;
   UnmapPtRange(range, &dead_frames);
   UnchargeAndLruDel(dead_frames.size());
   FreeEmptyTables(range);
-  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy,
-                                  std::move(dead_frames), &DropFrameRef);
+  TlbGather gather;
+  gather.AddRange(range);
+  for (Pfn pfn : dead_frames) {
+    gather.AddFrame(pfn);
+  }
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
 }
 
 VoidResult LinuxVmaMm::Munmap(Vaddr va, uint64_t len) {
@@ -311,8 +317,9 @@ VoidResult LinuxVmaMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
                      MakeLeafPte(pt_.arch(), PtePfn(pt_.arch(), old), updated, 1));
     }
   }
-  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy, {},
-                                  nullptr);
+  TlbGather gather;
+  gather.AddRange(range);
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, nullptr);
   mmap_lock_.WriteUnlock();
   return VoidResult();
 }
@@ -372,9 +379,10 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
               pt_.StoreEntry(walk.pt_page, walk.index,
                              MakeLeafPte(pt_.arch(), *copy, p, 1));
               old_desc.mapcount.fetch_sub(1, std::memory_order_acq_rel);
-              TlbSystem::Instance().Shootdown(asid_, VaRange(page_va, page_va + kPageSize),
-                                              active_cpus_, options_.tlb_policy, {old_pfn},
-                                              &DropFrameRef);
+              TlbGather gather;
+              gather.AddRange(VaRange(page_va, page_va + kPageSize));
+              gather.AddFrame(old_pfn);
+              gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
             }
           }
         }
@@ -442,6 +450,12 @@ std::unique_ptr<MmInterface> LinuxVmaMm::Fork() {
   // then COW-copy page-table contents within each VMA only.
   std::vector<Vma*> all;
   vmas_.ForEachOverlap(VaRange(0, kVaLimit), [&all](Vma* vma) { all.push_back(vma); });
+  // Parent-side flush for the leaves demoted to COW. Gathered per leaf:
+  // adjacent pages coalesce, and a fork touching more than kMaxRanges
+  // distinct spots degrades to one full-ASID flush — never more than one
+  // shootdown either way, where this used to flush VaRange(0, kVaLimit)
+  // unconditionally (even for a one-page parent).
+  TlbGather gather;
   for (Vma* vma : all) {
     child->vmas_.Insert(vma->start, vma->end, vma->perm);
     VaRange range(vma->start, vma->end);
@@ -462,8 +476,8 @@ std::unique_ptr<MmInterface> LinuxVmaMm::Fork() {
       // semantically unchanged (the copy simply never happens).
       Result<Pfn> child_table = child->EnsurePtPath(lva);
       if (!child_table.ok()) {
-        TlbSystem::Instance().Shootdown(asid_, VaRange(0, kVaLimit), active_cpus_,
-                                        options_.tlb_policy, {}, nullptr);
+        // The gather already covers exactly the leaves demoted so far.
+        gather.Flush(asid_, active_cpus_, options_.tlb_policy, nullptr);
         mmap_lock_.WriteUnlock();
         child.reset();
         FaultInjector::NoteRolledBack();
@@ -475,10 +489,10 @@ std::unique_ptr<MmInterface> LinuxVmaMm::Fork() {
       PhysMem::Instance().Descriptor(pfn).mapcount.fetch_add(1, std::memory_order_acq_rel);
       child->pt_.StoreEntry(*child_table, PtIndex(lva, 1),
                             MakeLeafPte(pt_.arch(), pfn, cow, 1));
+      gather.AddRange(VaRange(lva, lva + kPageSize));
     }
   }
-  TlbSystem::Instance().Shootdown(asid_, VaRange(0, kVaLimit), active_cpus_,
-                                  options_.tlb_policy, {}, nullptr);
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, nullptr);
   mmap_lock_.WriteUnlock();
   return child;
 }

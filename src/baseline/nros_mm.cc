@@ -8,6 +8,7 @@
 #include "src/core/addr_space.h"  // DropFrameRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
+#include "src/tlb/gather.h"
 
 namespace cortenmm {
 namespace {
@@ -221,8 +222,12 @@ VoidResult NrosMm::Munmap(Vaddr va, uint64_t len) {
   for (int i = 0; i < options_.replicas; ++i) {
     SyncReplica(i);
   }
-  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy,
-                                  std::move(dead_frames), &DropFrameRef);
+  TlbGather gather;
+  gather.AddRange(range);
+  for (Pfn pfn : dead_frames) {
+    gather.AddFrame(pfn);
+  }
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
   va_alloc_.Free(va, len);
   return VoidResult();
 }
@@ -242,8 +247,9 @@ VoidResult NrosMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
   for (int i = 0; i < options_.replicas; ++i) {
     SyncReplica(i);
   }
-  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy, {},
-                                  nullptr);
+  TlbGather gather;
+  gather.AddRange(range);
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, nullptr);
   return VoidResult();
 }
 

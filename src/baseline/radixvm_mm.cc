@@ -9,6 +9,7 @@
 #include "src/core/addr_space.h"  // DropFrameRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
+#include "src/tlb/gather.h"
 
 namespace cortenmm {
 namespace {
@@ -257,8 +258,12 @@ VoidResult RadixVmMm::Munmap(Vaddr va, uint64_t len) {
     }
     info = PageInfo{};
   });
-  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy,
-                                  std::move(dead_frames), &DropFrameRef);
+  TlbGather gather;
+  gather.AddRange(range);
+  for (Pfn pfn : dead_frames) {
+    gather.AddFrame(pfn);
+  }
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
   va_alloc_.Free(va, AlignUp(len, kPageSize));
   return VoidResult();
 }
@@ -283,8 +288,9 @@ VoidResult RadixVmMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
       }
     }
   });
-  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy, {},
-                                  nullptr);
+  TlbGather gather;
+  gather.AddRange(range);
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, nullptr);
   return VoidResult();
 }
 

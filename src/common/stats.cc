@@ -18,6 +18,12 @@ const char* CounterName(Counter c) {
       return "tlb_shootdowns";
     case Counter::kTlbLazyFlushes:
       return "tlb_lazy_flushes";
+    case Counter::kTlbRangesGathered:
+      return "tlb_ranges_gathered";
+    case Counter::kTlbRangesCoalesced:
+      return "tlb_ranges_coalesced";
+    case Counter::kTlbFullFlushFallbacks:
+      return "tlb_full_flush_fallbacks";
     case Counter::kPtPagesAllocated:
       return "pt_pages_allocated";
     case Counter::kPtPagesFreed:

@@ -21,6 +21,9 @@ enum class Counter : int {
   kTlbMisses,
   kTlbShootdowns,
   kTlbLazyFlushes,
+  kTlbRangesGathered,      // Ranges added to a TlbGather before coalescing.
+  kTlbRangesCoalesced,     // Gathered ranges absorbed into a neighbor.
+  kTlbFullFlushFallbacks,  // Gathers that degraded to a full-ASID flush.
   kPtPagesAllocated,
   kPtPagesFreed,
   kFramesAllocated,

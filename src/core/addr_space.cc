@@ -101,9 +101,8 @@ RCursor AddrSpace::Lock(VaRange range) {
   return cursor;
 }
 
-void AddrSpace::TlbFlush(VaRange range, std::vector<Pfn> dead_frames) {
-  TlbSystem::Instance().Shootdown(asid_, range, active_cpus_, options_.tlb_policy,
-                                  std::move(dead_frames), &DropFrameRef);
+void AddrSpace::TlbFlush(TlbGather& gather) {
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
 }
 
 uint64_t AddrSpace::PtBytes() const { return pt_.CountPtPages() * kPageSize; }
@@ -122,8 +121,7 @@ RCursor::RCursor(RCursor&& other) noexcept
       covering_level_(other.covering_level_),
       rw_path_(std::move(other.rw_path_)),
       adv_locked_(std::move(other.adv_locked_)),
-      flush_range_(other.flush_range_),
-      dead_frames_(std::move(other.dead_frames_)),
+      gather_(std::move(other.gather_)),
       acquire_retries_(other.acquire_retries_) {
   other.engaged_ = false;
 }
@@ -134,10 +132,11 @@ RCursor::~RCursor() {
   }
   // Perform the deferred TLB shootdown before releasing the locks so that no
   // transaction can observe the new page-table state with stale TLB entries
-  // still live (paper Figure 8 flushes inside the transaction too).
-  if (!flush_range_.empty() || !dead_frames_.empty()) {
-    space_->TlbFlush(flush_range_,
-                     std::vector<Pfn>(dead_frames_.begin(), dead_frames_.end()));
+  // still live (paper Figure 8 flushes inside the transaction too). One
+  // batched shootdown covers every discrete sub-range this transaction
+  // mutated; a transaction that mutated nothing flushes nothing.
+  if (!gather_.empty()) {
+    space_->TlbFlush(gather_);
   }
   if (pages_touched_ != 0) {
     Telemetry::Instance().Trace(TraceKind::kPagesTouched, pages_touched_,

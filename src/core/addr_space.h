@@ -37,6 +37,7 @@
 #include "src/pt/page_table.h"
 #include "src/sync/bravo.h"
 #include "src/sync/mcs_lock.h"
+#include "src/tlb/gather.h"
 #include "src/tlb/shootdown.h"
 
 namespace cortenmm {
@@ -200,13 +201,10 @@ class RCursor {
   void AdvUnlockAndForget(Pfn pfn);
   void NoteLocked(Pfn pfn, int level);
   void ClearLeaf(Pfn pt_page, int level, uint64_t index, Vaddr va);
-  void NoteFlush(VaRange range) {
-    flush_range_ = flush_range_.empty()
-                       ? range
-                       : VaRange(flush_range_.start < range.start ? flush_range_.start
-                                                                  : range.start,
-                                 flush_range_.end > range.end ? flush_range_.end : range.end);
-  }
+  // Records a mutated sub-range for the destructor's shootdown. The gather
+  // keeps discrete ranges (coalescing neighbors) instead of one bounding box,
+  // so a sparse transaction no longer invalidates everything in between.
+  void NoteFlush(VaRange range) { gather_.AddRange(range); }
 
   AddrSpace* space_;
   VaRange range_;
@@ -223,9 +221,8 @@ class RCursor {
   // enqueued and no transaction pays a heap allocation for them.
   SmallVec<AdvLockedPage, 16> adv_locked_;
 
-  // Deferred TLB flush + frame reclamation.
-  VaRange flush_range_;
-  SmallVec<Pfn, 8> dead_frames_;
+  // Deferred TLB flush + frame reclamation (mmu_gather-style batch).
+  TlbGather gather_;
 
   int acquire_retries_ = 0;
   // Leaf pages (un)mapped under this cursor; reported to the telemetry trace
@@ -276,9 +273,10 @@ class AddrSpace {
   }
   const CpuMask& active_cpus() const { return active_cpus_; }
 
-  // Flushes |range| on all active CPUs and disposes of |dead_frames| per the
-  // configured policy. Exposed for the page-fault handler's COW remaps.
-  void TlbFlush(VaRange range, std::vector<Pfn> dead_frames);
+  // Submits everything |gather| accumulated as one batched shootdown on the
+  // active CPUs (per the configured policy) and resets the gather. The only
+  // flush path: cursors gather, then flush on destruction.
+  void TlbFlush(TlbGather& gather);
 
   // Intel MPK: the per-address-space PKRU register (2 bits per key:
   // bit 2k = access-disable, bit 2k+1 = write-disable).

@@ -178,7 +178,7 @@ void RCursor::ClearLeaf(Pfn pt_page, int level, uint64_t index, Vaddr va) {
   for (uint64_t f = 0; f < frames; ++f) {
     mem.Descriptor(head + f).mapcount.fetch_sub(1, std::memory_order_acq_rel);
     // The reference is dropped only after the TLB shootdown completes.
-    dead_frames_.push_back(head + f);
+    gather_.AddFrame(head + f);
   }
   pages_touched_ += frames;
   NoteFlush(VaRange(va, va + PtEntrySpan(level)));

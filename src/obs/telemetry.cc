@@ -54,7 +54,21 @@ const char* LockPhaseName(LockPhase phase) {
       return "bravo_revocation";
     case LockPhase::kRcuSynchronize:
       return "rcu_synchronize";
+    case LockPhase::kSeqlockWait:
+      return "seqlock_wait";
     case LockPhase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* BatchStatName(BatchStat stat) {
+  switch (stat) {
+    case BatchStat::kShootdownRanges:
+      return "shootdown_ranges";
+    case BatchStat::kShootdownFrames:
+      return "shootdown_frames";
+    case BatchStat::kCount:
       break;
   }
   return "unknown";
@@ -273,12 +287,23 @@ HistogramSnapshot Telemetry::MergedPhase(LockPhase phase) const {
   return merged;
 }
 
+HistogramSnapshot Telemetry::MergedBatch(BatchStat stat) const {
+  HistogramSnapshot merged;
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    merged.Merge(cpus_[cpu].value.batches[static_cast<int>(stat)]);
+  }
+  return merged;
+}
+
 void Telemetry::Reset() {
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
     for (auto& h : cpus_[cpu].value.ops) {
       h.Reset();
     }
     for (auto& h : cpus_[cpu].value.phases) {
+      h.Reset();
+    }
+    for (auto& h : cpus_[cpu].value.batches) {
       h.Reset();
     }
   }
@@ -303,6 +328,23 @@ void AppendHistogramJson(std::ostringstream& os, const char* name,
      << "}";
 }
 
+// Same shape for value-domain (batch-size) histograms: the sums and maxima
+// are sizes, so the keys drop the _ns suffix.
+void AppendValueHistogramJson(std::ostringstream& os, const char* name,
+                              const HistogramSnapshot& h, bool* first) {
+  uint64_t count = h.TotalCount();
+  if (count == 0) {
+    return;
+  }
+  if (!*first) {
+    os << ",";
+  }
+  *first = false;
+  os << "\"" << name << "\":{\"count\":" << count
+     << ",\"p50\":" << h.Percentile(0.50) << ",\"p99\":" << h.Percentile(0.99)
+     << ",\"mean\":" << (h.sum_ns / count) << ",\"max\":" << h.max_ns << "}";
+}
+
 }  // namespace
 
 std::string Telemetry::DumpJson(const std::string& label) const {
@@ -318,6 +360,12 @@ std::string Telemetry::DumpJson(const std::string& label) const {
   for (int i = 0; i < static_cast<int>(LockPhase::kCount); ++i) {
     LockPhase phase = static_cast<LockPhase>(i);
     AppendHistogramJson(os, LockPhaseName(phase), MergedPhase(phase), &first);
+  }
+  os << "},\"batches\":{";
+  first = true;
+  for (int i = 0; i < static_cast<int>(BatchStat::kCount); ++i) {
+    BatchStat stat = static_cast<BatchStat>(i);
+    AppendValueHistogramJson(os, BatchStatName(stat), MergedBatch(stat), &first);
   }
   os << "},\"counters\":{";
   first = true;

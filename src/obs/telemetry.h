@@ -57,11 +57,21 @@ enum class LockPhase : int {
   kShootdownWait,       // TLB shootdown issue-to-done (initiator side)
   kBravoRevocation,     // BRAVO writer bias-revocation scan
   kRcuSynchronize,      // RCU grace-period waits
+  kSeqlockWait,         // SeqCount::ReadBegin waiting out a writer
+  kCount,
+};
+
+// Per-batch size distributions (values, not nanoseconds): the log2 histogram
+// machinery is reused, so "p50" etc. read as batch sizes.
+enum class BatchStat : int {
+  kShootdownRanges = 0,  // Discrete ranges per ShootdownBatch (0 = full-ASID).
+  kShootdownFrames,      // Dead frames per ShootdownBatch.
   kCount,
 };
 
 const char* MmOpName(MmOp op);
 const char* LockPhaseName(LockPhase phase);
+const char* BatchStatName(BatchStat stat);
 
 // Transaction-event kinds recorded in the trace ring.
 enum class TraceKind : int {
@@ -213,6 +223,9 @@ class Telemetry {
   void RecordPhase(LockPhase phase, uint64_t ns) {
     cpus_[CurrentCpu() % kMaxCpus].value.phases[static_cast<int>(phase)].Record(ns);
   }
+  void RecordBatch(BatchStat stat, uint64_t size) {
+    cpus_[CurrentCpu() % kMaxCpus].value.batches[static_cast<int>(stat)].Record(size);
+  }
   void Trace(TraceKind kind, uint64_t arg0 = 0, uint64_t arg1 = 0) {
     trace_.Record(kind, arg0, arg1);
   }
@@ -220,6 +233,7 @@ class Telemetry {
   // Merged (all-CPU) views, for reporting.
   HistogramSnapshot MergedOp(MmOp op) const;
   HistogramSnapshot MergedPhase(LockPhase phase) const;
+  HistogramSnapshot MergedBatch(BatchStat stat) const;
   TraceRing& trace() { return trace_; }
 
   void Reset();
@@ -235,6 +249,7 @@ class Telemetry {
   struct Cpu {
     LatencyHistogram ops[static_cast<int>(MmOp::kCount)];
     LatencyHistogram phases[static_cast<int>(LockPhase::kCount)];
+    LatencyHistogram batches[static_cast<int>(BatchStat::kCount)];
   };
   CacheAligned<Cpu> cpus_[kMaxCpus];
   TraceRing trace_;
@@ -353,9 +368,11 @@ class Telemetry {
   }
   void RecordOp(MmOp, uint64_t) {}
   void RecordPhase(LockPhase, uint64_t) {}
+  void RecordBatch(BatchStat, uint64_t) {}
   void Trace(TraceKind, uint64_t = 0, uint64_t = 0) {}
   HistogramSnapshot MergedOp(MmOp) const { return {}; }
   HistogramSnapshot MergedPhase(LockPhase) const { return {}; }
+  HistogramSnapshot MergedBatch(BatchStat) const { return {}; }
   TraceRing& trace() { return trace_; }
   void Reset() {}
   std::string DumpJson(const std::string&) const { return "{}"; }

@@ -102,6 +102,12 @@ Result<Pfn> BuddyAllocator::AllocBlockLocked(int order) {
 
 void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
   PhysMem& mem = PhysMem::Instance();
+  // The freed→kFree transition happens here, under lock_: typing the frame
+  // free before holding the lock would open a window where it is marked free
+  // but still reachable (and not yet on any free list). When the block
+  // coalesces, PushFree retypes only the merged head; the head passed in is
+  // typed here so it never reads as live after the free.
+  mem.Descriptor(pfn).type.store(FrameType::kFree, std::memory_order_relaxed);
   free_frames_.fetch_add(1ull << order, std::memory_order_relaxed);
   // Coalesce with the buddy while possible.
   while (order < kMaxOrder) {
@@ -139,7 +145,6 @@ Result<Pfn> BuddyAllocator::AllocBlock(int order) {
 
 void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
   assert(order >= 0 && order <= kMaxOrder);
-  PhysMem::Instance().Descriptor(pfn).type.store(FrameType::kFree, std::memory_order_relaxed);
   CountEvent(Counter::kFramesFreed, 1ull << order);
   SpinGuard guard(lock_);
   FreeBlockLocked(pfn, order);
@@ -196,12 +201,16 @@ Result<Pfn> BuddyAllocator::AllocZeroedFrame() {
 }
 
 void BuddyAllocator::FreeFrame(Pfn pfn) {
-  PhysMem::Instance().Descriptor(pfn).type.store(FrameType::kFree, std::memory_order_relaxed);
   CountEvent(Counter::kFramesFreed);
   CpuCache& cache = cpu_caches_[CurrentCpu()].value;
   {
     SpinGuard guard(cache.lock);
     if (cache.frames.size() < kCacheMax) {
+      // Parked, not free: the frame is typed under the cache lock so the
+      // transition is atomic with becoming reachable from the cache, and as
+      // kCached (not kFree) so the leak checker can tell the difference.
+      PhysMem::Instance().Descriptor(pfn).type.store(FrameType::kCached,
+                                                     std::memory_order_relaxed);
       cache.frames.push_back(pfn);
       return;
     }

@@ -24,6 +24,9 @@ enum class FrameType : uint8_t {
   kPageTable,    // A PT page; PT-specific fields are live.
   kSlab,         // Backs the slab allocator.
   kKernel,       // Other kernel allocation (NR logs, swap buffers, ...).
+  kCached,       // Parked in a per-CPU buddy cache: freed but not yet on a
+                 // free list. Distinct from kFree so the leak checker can
+                 // tell a cached frame from a genuinely free one.
 };
 
 // Per-PTE metadata entry: 8 bytes packed, one per PTE slot of a PT page,

@@ -7,16 +7,29 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/backoff.h"
+#include "src/obs/telemetry.h"
+
 namespace cortenmm {
 
 class SeqCount {
  public:
-  // Reader side: snapshot before reading protected fields.
+  // Reader side: snapshot before reading protected fields. The common case
+  // (no writer) is one acquire load; waiting out a writer spins with bounded
+  // backoff — the host may have far fewer hardware threads than simulated
+  // CPUs, so a raw busy-wait could monopolize the writer's core — and the
+  // wait is recorded into the lock-phase telemetry.
   uint32_t ReadBegin() const {
-    uint32_t seq;
+    uint32_t seq = seq_.load(std::memory_order_acquire);
+    if ((seq & 1) == 0) {
+      return seq;
+    }
+    ScopedPhaseTimer wait_timer(LockPhase::kSeqlockWait);
+    SpinBackoff backoff;
     do {
+      backoff.Spin();
       seq = seq_.load(std::memory_order_acquire);
-    } while (seq & 1);  // A writer is in progress; wait it out via caller retry.
+    } while (seq & 1);
     return seq;
   }
 

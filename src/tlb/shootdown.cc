@@ -47,6 +47,10 @@ bool TlbSystem::LatrEntry::TryAck(CpuId cpu) {
   return remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;  // Last ack?
 }
 
+bool TlbSystem::LatrEntry::HasAcked(CpuId cpu) const {
+  return acked_mask[cpu / 64].load(std::memory_order_acquire) & (1ull << (cpu % 64));
+}
+
 void TlbSystem::FinishEntry(LatrEntry* entry) {
   if (entry->freer != nullptr) {
     for (Pfn pfn : entry->frames) {
@@ -59,6 +63,23 @@ void TlbSystem::FinishEntry(LatrEntry* entry) {
 
 void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPolicy policy,
                           std::vector<Pfn> frames, FrameFreer freer) {
+  ShootdownBatch(asid, &range, 1, /*full_asid=*/false, mask, policy, std::move(frames),
+                 freer);
+}
+
+void TlbSystem::ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_ranges,
+                               bool full_asid, const CpuMask& mask, TlbPolicy policy,
+                               std::vector<Pfn> frames, FrameFreer freer) {
+  if (num_ranges == 0 && !full_asid) {
+    // Frame-only batch: nothing was ever visible in a TLB, dispose directly.
+    if (freer != nullptr) {
+      for (Pfn pfn : frames) {
+        freer(pfn);
+      }
+    }
+    return;
+  }
+  // The whole batch is one shootdown event — that is the point of gathering.
   CountEvent(Counter::kTlbShootdowns);
   // Initiator-side wait: for kSync/kEarlyAck this covers the full remote
   // invalidation sweep; for kLatr only the local flush + buffer publish.
@@ -66,10 +87,23 @@ void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPoli
   CpuId self = CurrentCpu();
   std::vector<CpuId> targets = mask.ToVector();
   Telemetry::Instance().Trace(TraceKind::kShootdown, frames.size(), targets.size());
+  Telemetry::Instance().RecordBatch(BatchStat::kShootdownRanges,
+                                    full_asid ? 0 : num_ranges);
+  Telemetry::Instance().RecordBatch(BatchStat::kShootdownFrames, frames.size());
+
+  // One pass over a target's TLB covers every range in the batch (or the
+  // whole ASID once the gather fell back).
+  auto invalidate = [&](CpuId cpu) {
+    if (full_asid) {
+      CpuTlb(cpu).InvalidateAsid(asid);
+    } else {
+      CpuTlb(cpu).InvalidateRanges(asid, ranges, num_ranges);
+    }
+  };
 
   if (policy == TlbPolicy::kLatr) {
     // Flush locally now; defer remote flushes and frame reclamation.
-    CpuTlb(self).InvalidateRange(asid, range);
+    invalidate(self);
     std::vector<CpuId> remote;
     for (CpuId cpu : targets) {
       if (cpu != self) {
@@ -84,9 +118,14 @@ void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPoli
       }
       return;
     }
+    // One deferred entry for the whole batch: each target acks once however
+    // many ranges the transaction gathered.
     auto* entry = new LatrEntry;
     entry->asid = asid;
-    entry->range = range;
+    entry->full_asid = full_asid;
+    if (!full_asid) {
+      entry->ranges.assign(ranges, ranges + num_ranges);
+    }
     entry->frames = std::move(frames);
     entry->freer = freer;
     entry->targets = std::move(remote);
@@ -109,18 +148,18 @@ void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPoli
       // Chaos: a straggler target delays before servicing the invalidation
       // IPI, so the initiator's serial ack wait stretches.
       FaultInjector::Instance().MaybeStall(FaultSite::kShootdownStraggler);
-      CpuTlb(cpu).InvalidateRange(asid, range);
+      invalidate(cpu);
       // Serial ack round trip: a full acquire/release per target is already
       // enforced by the per-TLB lock; nothing further to model.
     }
   } else {  // kEarlyAck
     for (CpuId cpu : targets) {
       FaultInjector::Instance().MaybeStall(FaultSite::kShootdownStraggler);
-      CpuTlb(cpu).InvalidateRange(asid, range);
+      invalidate(cpu);
     }
   }
   if (!mask.Test(self)) {
-    CpuTlb(self).InvalidateRange(asid, range);
+    invalidate(self);
   }
   if (freer != nullptr) {
     for (Pfn pfn : frames) {
@@ -149,11 +188,18 @@ void TlbSystem::Tick(CpuId cpu) {
           }
         }
         bool done = false;
-        if (is_target) {
+        // An already-acked target must not re-flush: the entry only lingers
+        // in the buffer because some OTHER target's ack is still outstanding.
+        if (is_target && !entry->HasAcked(cpu)) {
           // Chaos: a lazy-TLB straggler acks an entry late (LATR's whole bet
           // is that this is tolerable; the chaos suite verifies it).
           FaultInjector::Instance().MaybeStall(FaultSite::kShootdownStraggler);
-          CpuTlb(cpu).InvalidateRange(entry->asid, entry->range);
+          if (entry->full_asid) {
+            CpuTlb(cpu).InvalidateAsid(entry->asid);
+          } else {
+            CpuTlb(cpu).InvalidateRanges(entry->asid, entry->ranges.data(),
+                                         entry->ranges.size());
+          }
           CountEvent(Counter::kTlbLazyFlushes);
           done = entry->TryAck(cpu);
         }

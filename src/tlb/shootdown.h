@@ -64,9 +64,19 @@ class TlbSystem {
 
   // Invalidates |range| of |asid| on every CPU in |mask| according to
   // |policy|, then disposes of |frames| via |freer| (possibly deferred).
-  // |frames| may be empty (e.g. mprotect).
+  // |frames| may be empty (e.g. mprotect). Thin wrapper over ShootdownBatch
+  // with a single range.
   void Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPolicy policy,
                  std::vector<Pfn> frames, FrameFreer freer);
+
+  // Batched shootdown (the TlbGather submission path): invalidates all
+  // |num_ranges| ranges of |asid| — or the whole ASID when |full_asid| — on
+  // every CPU in |mask| with ONE invalidation sweep per target and, under
+  // kLatr, one deferred entry for the whole batch. Counts as a single
+  // kTlbShootdowns event however many ranges the batch carries.
+  void ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_ranges, bool full_asid,
+                      const CpuMask& mask, TlbPolicy policy, std::vector<Pfn> frames,
+                      FrameFreer freer);
 
   // The target-side pump: drains lazy shootdown entries addressed to |cpu|.
   // The simulated MMU calls this periodically (timer-tick analog).
@@ -83,7 +93,8 @@ class TlbSystem {
  private:
   struct LatrEntry {
     Asid asid;
-    VaRange range;
+    std::vector<VaRange> ranges;  // Empty when full_asid.
+    bool full_asid = false;
     std::vector<Pfn> frames;
     FrameFreer freer;
     std::vector<CpuId> targets;
@@ -91,6 +102,9 @@ class TlbSystem {
     std::atomic<uint64_t> acked_mask[kMaxCpus / 64] = {};
 
     bool TryAck(CpuId cpu);
+    // Whether |cpu| already flushed and acknowledged this entry. Tick checks
+    // this before invalidating so each target flushes each entry exactly once.
+    bool HasAcked(CpuId cpu) const;
   };
 
   struct LatrBuffer {

@@ -76,6 +76,20 @@ void Tlb::InvalidateRange(Asid asid, VaRange range) {
   }
 }
 
+void Tlb::InvalidateRanges(Asid asid, const VaRange* ranges, size_t num_ranges) {
+  SpinGuard guard(lock_);
+  for (auto& set : sets_) {
+    for (auto& entry : set) {
+      for (size_t i = 0; i < num_ranges; ++i) {
+        if (EntryIntersects(entry, asid, ranges[i])) {
+          entry.valid = false;
+          break;
+        }
+      }
+    }
+  }
+}
+
 void Tlb::InvalidateAsid(Asid asid) {
   SpinGuard guard(lock_);
   for (auto& set : sets_) {

@@ -37,6 +37,10 @@ class Tlb {
   void Insert(Asid asid, Vaddr va, uint64_t pte_raw, int level);
 
   void InvalidateRange(Asid asid, VaRange range);
+  // Invalidates every entry of |asid| intersecting any of |ranges| in one
+  // locked sweep — the per-target cost of a batched shootdown is one pass
+  // over the TLB regardless of how many ranges the batch carries.
+  void InvalidateRanges(Asid asid, const VaRange* ranges, size_t num_ranges);
   void InvalidateAsid(Asid asid);
   void InvalidateAll();
 

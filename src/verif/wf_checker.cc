@@ -98,7 +98,16 @@ LeakReport CheckFrameLeaks(uint64_t baseline_free_frames) {
   report.current_free = BuddyAllocator::Instance().FreeFrameCount();
   report.leaked = static_cast<int64_t>(baseline_free_frames) -
                   static_cast<int64_t>(report.current_free);
-  report.ok = report.leaked == 0;
+  // With the caches drained, no frame may still read as kCached: FreeFrame
+  // types a parked frame kCached and FreeBlockLocked retypes it kFree when it
+  // reaches a free list, so a survivor fell out of that state machine.
+  PhysMem& mem = PhysMem::Instance();
+  for (Pfn pfn = 0; pfn < mem.num_frames(); ++pfn) {
+    if (mem.Descriptor(pfn).type.load(std::memory_order_relaxed) == FrameType::kCached) {
+      ++report.stranded_cached;
+    }
+  }
+  report.ok = report.leaked == 0 && report.stranded_cached == 0;
   return report;
 }
 

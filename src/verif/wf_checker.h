@@ -46,6 +46,11 @@ struct LeakReport {
   uint64_t baseline_free = 0;
   uint64_t current_free = 0;
   int64_t leaked = 0;  // baseline - current; negative would mean a double free.
+  // Frames still typed kCached after FlushCpuCaches drained every per-CPU
+  // buddy cache: each one was parked in a cache but never made it back to a
+  // free list (or was handed out without ResetForAlloc) — a typing leak even
+  // when the free count balances.
+  uint64_t stranded_cached = 0;
 };
 
 LeakReport CheckFrameLeaks(uint64_t baseline_free_frames);

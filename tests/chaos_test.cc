@@ -102,6 +102,10 @@ void ArmSchedule(ChaosSchedule schedule) {
 struct ChaosParam {
   Protocol protocol;
   ChaosSchedule schedule;
+  // Gathered shootdowns must hold the invariants under every TLB policy —
+  // LATR in particular, where a batch's dead frames sit in a deferred entry
+  // until the last lazy ack (exactly the window the leak checker watches).
+  TlbPolicy tlb_policy = TlbPolicy::kEarlyAck;
 };
 
 class ChaosTest : public ::testing::TestWithParam<ChaosParam> {
@@ -168,6 +172,7 @@ TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
   {
     AddrSpace::Options options;
     options.protocol = GetParam().protocol;
+    options.tlb_policy = GetParam().tlb_policy;
     auto space = std::make_unique<VmSpace>(options);
 
     ArmSchedule(GetParam().schedule);
@@ -213,10 +218,22 @@ INSTANTIATE_TEST_SUITE_P(
                       ChaosParam{Protocol::kRw, ChaosSchedule::kNoMem},
                       ChaosParam{Protocol::kRw, ChaosSchedule::kStraggler},
                       ChaosParam{Protocol::kRw, ChaosSchedule::kLockStall},
-                      ChaosParam{Protocol::kRw, ChaosSchedule::kMixed}),
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kMixed},
+                      // Straggler chaos under the remaining TLB policies, so
+                      // the gather + deferred reclamation path is stressed
+                      // under all three (kEarlyAck is the default above).
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kStraggler,
+                                 TlbPolicy::kSync},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kStraggler,
+                                 TlbPolicy::kLatr},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kStraggler,
+                                 TlbPolicy::kLatr},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMixed,
+                                 TlbPolicy::kLatr}),
     [](const ::testing::TestParamInfo<ChaosParam>& info) {
       std::string name = std::string(ProtocolName(info.param.protocol)) + "_" +
-                         ScheduleName(info.param.schedule);
+                         ScheduleName(info.param.schedule) + "_" +
+                         TlbPolicyName(info.param.tlb_policy);
       for (char& c : name) {
         if (c == '-') {
           c = '_';

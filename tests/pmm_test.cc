@@ -131,7 +131,12 @@ TEST(BuddyTest, DescriptorStateTracksAllocation) {
   PageDescriptor& desc = PhysMem::Instance().Descriptor(*f);
   EXPECT_EQ(desc.type.load(), FrameType::kKernel);
   EXPECT_EQ(desc.refcount.load(), 1u);
+  buddy.FlushCpuCaches();  // Guarantee the per-CPU cache has room to park.
   buddy.FreeFrame(*f);
+  // An order-0 free parks the frame in the current CPU's cache: it reads as
+  // kCached (not kFree) until the cache drains back to the buddy free lists.
+  EXPECT_EQ(desc.type.load(), FrameType::kCached);
+  buddy.FlushCpuCaches();
   EXPECT_EQ(desc.type.load(), FrameType::kFree);
 }
 

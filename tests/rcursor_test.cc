@@ -3,6 +3,7 @@
 // push-down, huge-page mapping and splitting, and status enumeration.
 #include <gtest/gtest.h>
 
+#include "src/common/stats.h"
 #include "src/core/addr_space.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
@@ -236,6 +237,60 @@ TEST_P(RCursorTest, CoveringPageLevelMatchesRange) {
   }
   WfReport report = CheckWellFormed(space);
   EXPECT_TRUE(report.ok) << report.first_error;
+}
+
+// A transaction that only reads (or that rolled back before mutating
+// anything) gathers nothing, so its destructor must not issue a shootdown.
+TEST_P(RCursorTest, ReadOnlyCursorIssuesNoShootdown) {
+  AddrSpace space(MakeOptions());
+  uint64_t before = GlobalStats().Total(Counter::kTlbShootdowns);
+  {
+    RCursor cursor = space.Lock(VaRange(0x700000, 0x710000));
+    cursor.Query(0x700000);
+    cursor.Query(0x70f000);
+  }
+  EXPECT_EQ(GlobalStats().Total(Counter::kTlbShootdowns) - before, 0u);
+}
+
+// The gather in action at the cursor level: a transaction unmapping several
+// sparse pages flushes them as ONE batched shootdown, and a page between the
+// gathered ranges keeps its (hypothetical) TLB entry — no bounding box.
+TEST_P(RCursorTest, SparseUnmapFlushesOnceWithDiscreteRanges) {
+  AddrSpace space(MakeOptions());
+  VaRange range(0x800000, 0x800000 + 16 * kPageSize);
+  std::vector<Vaddr> victims = {range.start, range.start + 5 * kPageSize,
+                                range.start + 11 * kPageSize};
+  Vaddr bystander = range.start + 8 * kPageSize;
+  {
+    RCursor cursor = space.Lock(range);
+    for (Vaddr va : victims) {
+      ASSERT_TRUE(cursor.Map(va, AllocAnon(), Perm::RW()).ok());
+    }
+    ASSERT_TRUE(cursor.Map(bystander, AllocAnon(), Perm::RW()).ok());
+  }
+  // Seed this CPU's TLB as if the MMU had cached all four translations.
+  CpuId cpu = CurrentCpu();
+  space.NoteCpuActive(cpu);
+  Tlb& tlb = TlbSystem::Instance().CpuTlb(cpu);
+  for (Vaddr va : victims) {
+    tlb.Insert(space.asid(), va, 1, 1);
+  }
+  tlb.Insert(space.asid(), bystander, 1, 1);
+  uint64_t before = GlobalStats().Total(Counter::kTlbShootdowns);
+  {
+    RCursor cursor = space.Lock(range);
+    for (Vaddr va : victims) {
+      ASSERT_TRUE(cursor.Unmap(VaRange(va, va + kPageSize)).ok());
+    }
+  }
+  EXPECT_EQ(GlobalStats().Total(Counter::kTlbShootdowns) - before, 1u);
+  for (Vaddr va : victims) {
+    EXPECT_FALSE(tlb.Lookup(space.asid(), va).has_value()) << va;
+  }
+  EXPECT_TRUE(tlb.Lookup(space.asid(), bystander).has_value());
+  // Clean up the remaining mapping.
+  RCursor cursor = space.Lock(range);
+  ASSERT_TRUE(cursor.Unmap(range).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(BothProtocols, RCursorTest,

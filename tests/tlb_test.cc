@@ -3,9 +3,11 @@
 // LATR's deferred frame reclamation.
 #include <gtest/gtest.h>
 
+#include "src/common/stats.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
 #include "src/pt/pte.h"
+#include "src/tlb/gather.h"
 #include "src/tlb/shootdown.h"
 #include "src/tlb/tlb.h"
 
@@ -160,6 +162,235 @@ TEST_F(ShootdownTest, LatrLocalOnlyFreesImmediately) {
   TlbSystem::Instance().Shootdown(asid, VaRange(va, va + kPageSize), self_only,
                                   TlbPolicy::kLatr, {*frame}, freer);
   EXPECT_EQ(freed.load(), 1);  // No remote targets: nothing to defer.
+}
+
+// ---------------------------------------------------------------------------
+// TlbGather: coalescing, fallback, batched submission
+// ---------------------------------------------------------------------------
+
+// Counters are process-global and cumulative across tests, so every assertion
+// below is on a before/after delta.
+uint64_t CounterNow(Counter c) { return GlobalStats().Total(c); }
+
+TEST(TlbGatherTest, AdjacentRangesMerge) {
+  TlbGather gather;
+  Vaddr base = 0x50000000;
+  uint64_t coalesced = CounterNow(Counter::kTlbRangesCoalesced);
+  gather.AddRange(VaRange(base, base + kPageSize));
+  gather.AddRange(VaRange(base + kPageSize, base + 2 * kPageSize));
+  ASSERT_EQ(gather.range_count(), 1u);
+  EXPECT_EQ(gather.ranges()[0], VaRange(base, base + 2 * kPageSize));
+  EXPECT_EQ(CounterNow(Counter::kTlbRangesCoalesced) - coalesced, 1u);
+}
+
+TEST(TlbGatherTest, OverlappingRangesMerge) {
+  TlbGather gather;
+  Vaddr base = 0x50100000;
+  gather.AddRange(VaRange(base, base + 3 * kPageSize));
+  gather.AddRange(VaRange(base + kPageSize, base + 5 * kPageSize));
+  ASSERT_EQ(gather.range_count(), 1u);
+  EXPECT_EQ(gather.ranges()[0], VaRange(base, base + 5 * kPageSize));
+}
+
+TEST(TlbGatherTest, BridgingRangeAbsorbsBothNeighbors) {
+  TlbGather gather;
+  Vaddr base = 0x50200000;
+  gather.AddRange(VaRange(base, base + kPageSize));
+  gather.AddRange(VaRange(base + 2 * kPageSize, base + 3 * kPageSize));
+  ASSERT_EQ(gather.range_count(), 2u);
+  uint64_t coalesced = CounterNow(Counter::kTlbRangesCoalesced);
+  // The middle page abuts both: all three collapse into one range.
+  gather.AddRange(VaRange(base + kPageSize, base + 2 * kPageSize));
+  ASSERT_EQ(gather.range_count(), 1u);
+  EXPECT_EQ(gather.ranges()[0], VaRange(base, base + 3 * kPageSize));
+  EXPECT_EQ(CounterNow(Counter::kTlbRangesCoalesced) - coalesced, 2u);
+}
+
+TEST(TlbGatherTest, RangesStaySortedAndDisjoint) {
+  TlbGather gather;
+  Vaddr base = 0x50300000;
+  // Out-of-order, disjoint (one guard page between each pair).
+  for (int i : {5, 1, 3}) {
+    Vaddr va = base + i * 2 * kPageSize;
+    gather.AddRange(VaRange(va, va + kPageSize));
+  }
+  ASSERT_EQ(gather.range_count(), 3u);
+  for (size_t i = 1; i < gather.range_count(); ++i) {
+    EXPECT_GT(gather.ranges()[i].start, gather.ranges()[i - 1].end);
+  }
+}
+
+TEST(TlbGatherTest, FallbackTriggersOnlyPastMaxRanges) {
+  TlbGather gather;
+  Vaddr base = 0x50400000;
+  uint64_t fallbacks = CounterNow(Counter::kTlbFullFlushFallbacks);
+  uint64_t gathered = CounterNow(Counter::kTlbRangesGathered);
+  // Exactly kMaxRanges distinct ranges must stay precise (the ablation's
+  // 16-ranges-per-transaction workload depends on this).
+  for (size_t i = 0; i < TlbGather::kMaxRanges; ++i) {
+    Vaddr va = base + i * 2 * kPageSize;
+    gather.AddRange(VaRange(va, va + kPageSize));
+  }
+  EXPECT_EQ(gather.range_count(), TlbGather::kMaxRanges);
+  EXPECT_FALSE(gather.full_flush());
+  EXPECT_EQ(CounterNow(Counter::kTlbFullFlushFallbacks) - fallbacks, 0u);
+  // One more distinct range tips it into full-ASID mode.
+  Vaddr extra = base + 100 * kPageSize;
+  gather.AddRange(VaRange(extra, extra + kPageSize));
+  EXPECT_TRUE(gather.full_flush());
+  EXPECT_EQ(gather.range_count(), 0u);
+  EXPECT_FALSE(gather.empty());
+  EXPECT_EQ(CounterNow(Counter::kTlbFullFlushFallbacks) - fallbacks, 1u);
+  // Later ranges are still counted as gathered but change nothing.
+  gather.AddRange(VaRange(base, base + kPageSize));
+  EXPECT_TRUE(gather.full_flush());
+  EXPECT_EQ(CounterNow(Counter::kTlbRangesGathered) - gathered,
+            TlbGather::kMaxRanges + 2);
+}
+
+TEST(TlbGatherTest, CoalescedRangesDoNotTriggerFallback) {
+  TlbGather gather;
+  Vaddr base = 0x50500000;
+  // 64 adjacent pages collapse into one range: no fallback however many.
+  for (int i = 0; i < 64; ++i) {
+    gather.AddRange(VaRange(base + i * kPageSize, base + (i + 1) * kPageSize));
+  }
+  EXPECT_EQ(gather.range_count(), 1u);
+  EXPECT_FALSE(gather.full_flush());
+}
+
+class GatherFlushTest : public ShootdownTest {};
+
+TEST_F(GatherFlushTest, EmptyGatherFlushesNothing) {
+  TlbGather gather;
+  uint64_t shootdowns = CounterNow(Counter::kTlbShootdowns);
+  mask_.Set(2);
+  gather.Flush(950, mask_, TlbPolicy::kEarlyAck, nullptr);
+  EXPECT_EQ(CounterNow(Counter::kTlbShootdowns) - shootdowns, 0u);
+}
+
+TEST_F(GatherFlushTest, MultiRangeBatchIsOneShootdownCoveringAllRanges) {
+  Asid asid = 951;
+  Vaddr base = 0x60000000;
+  std::vector<Vaddr> vas = {base, base + 4 * kPageSize, base + 9 * kPageSize};
+  Vaddr untouched = base + 6 * kPageSize;  // Between gathered ranges.
+  for (Vaddr va : vas) {
+    SeedTlbs(asid, va, {2, 3});
+  }
+  SeedTlbs(asid, untouched, {2, 3});
+  TlbGather gather;
+  for (Vaddr va : vas) {
+    gather.AddRange(VaRange(va, va + kPageSize));
+  }
+  uint64_t shootdowns = CounterNow(Counter::kTlbShootdowns);
+  gather.Flush(asid, mask_, TlbPolicy::kEarlyAck, nullptr);
+  EXPECT_EQ(CounterNow(Counter::kTlbShootdowns) - shootdowns, 1u);
+  for (CpuId cpu : {2, 3}) {
+    for (Vaddr va : vas) {
+      EXPECT_FALSE(TlbSystem::Instance().CpuTlb(cpu).Lookup(asid, va).has_value())
+          << "cpu " << cpu << " va " << va;
+    }
+    // Discrete ranges, not a bounding box: the page in between survives.
+    EXPECT_TRUE(TlbSystem::Instance().CpuTlb(cpu).Lookup(asid, untouched).has_value())
+        << cpu;
+  }
+  EXPECT_TRUE(gather.empty());  // Flush resets the gather.
+}
+
+TEST_F(GatherFlushTest, FullFlushFallbackNukesWholeAsid) {
+  Asid asid = 952;
+  Vaddr base = 0x61000000;
+  SeedTlbs(asid, base + 200 * kPageSize, {2});  // Outside every gathered range.
+  TlbGather gather;
+  for (size_t i = 0; i <= TlbGather::kMaxRanges; ++i) {
+    Vaddr va = base + i * 2 * kPageSize;
+    gather.AddRange(VaRange(va, va + kPageSize));
+  }
+  ASSERT_TRUE(gather.full_flush());
+  gather.Flush(asid, mask_, TlbPolicy::kEarlyAck, nullptr);
+  EXPECT_FALSE(
+      TlbSystem::Instance().CpuTlb(2).Lookup(asid, base + 200 * kPageSize).has_value());
+}
+
+TEST_F(GatherFlushTest, FrameOnlyGatherFreesWithoutShootdown) {
+  BindThisThreadToCpu(0);
+  Result<Pfn> frame = BuddyAllocator::Instance().AllocFrame();
+  ASSERT_TRUE(frame.ok());
+  static std::atomic<int> freed;
+  freed.store(0);
+  FrameFreer freer = [](Pfn pfn) {
+    freed.fetch_add(1);
+    BuddyAllocator::Instance().FreeFrame(pfn);
+  };
+  TlbGather gather;
+  gather.AddFrame(*frame);
+  mask_.Set(0);
+  uint64_t shootdowns = CounterNow(Counter::kTlbShootdowns);
+  gather.Flush(953, mask_, TlbPolicy::kSync, freer);
+  EXPECT_EQ(CounterNow(Counter::kTlbShootdowns) - shootdowns, 0u);
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST_F(GatherFlushTest, LatrBatchIsOneEntryAndDefersFrames) {
+  BindThisThreadToCpu(0);
+  Asid asid = 954;
+  Vaddr va_a = 0x62000000;
+  Vaddr va_b = va_a + 8 * kPageSize;
+  SeedTlbs(asid, va_a, {0, 6});
+  SeedTlbs(asid, va_b, {0, 6});
+  Result<Pfn> frame = BuddyAllocator::Instance().AllocFrame();
+  ASSERT_TRUE(frame.ok());
+  static std::atomic<int> freed;
+  freed.store(0);
+  FrameFreer freer = [](Pfn pfn) {
+    freed.fetch_add(1);
+    BuddyAllocator::Instance().FreeFrame(pfn);
+  };
+  TlbGather gather;
+  gather.AddRange(VaRange(va_a, va_a + kPageSize));
+  gather.AddRange(VaRange(va_b, va_b + kPageSize));
+  gather.AddFrame(*frame);
+  uint64_t pending = TlbSystem::Instance().pending_latr_entries();
+  gather.Flush(asid, mask_, TlbPolicy::kLatr, freer);
+  // One deferred entry for the two-range batch; frame held until the ack.
+  EXPECT_EQ(TlbSystem::Instance().pending_latr_entries() - pending, 1u);
+  EXPECT_EQ(freed.load(), 0);
+  TlbSystem::Instance().Tick(6);
+  for (Vaddr va : {va_a, va_b}) {
+    EXPECT_FALSE(TlbSystem::Instance().CpuTlb(6).Lookup(asid, va).has_value()) << va;
+  }
+  EXPECT_EQ(freed.load(), 1);
+}
+
+// Regression for the LATR re-flush bug: a target that already acked an entry
+// must not invalidate again (or re-count kTlbLazyFlushes) while the entry
+// waits for its other targets. Lazy flushes must total exactly
+// targets x entries no matter how often the targets tick.
+TEST_F(ShootdownTest, LatrLazyFlushesExactlyTargetsTimesEntries) {
+  BindThisThreadToCpu(0);
+  Asid asid = 955;
+  Vaddr va_a = 0x63000000;
+  Vaddr va_b = va_a + 16 * kPageSize;
+  SeedTlbs(asid, va_a, {6, 7});
+  SeedTlbs(asid, va_b, {6, 7});
+  uint64_t lazy = GlobalStats().Total(Counter::kTlbLazyFlushes);
+  uint64_t pending = TlbSystem::Instance().pending_latr_entries();
+  TlbSystem::Instance().Shootdown(asid, VaRange(va_a, va_a + kPageSize), mask_,
+                                  TlbPolicy::kLatr, {}, nullptr);
+  TlbSystem::Instance().Shootdown(asid, VaRange(va_b, va_b + kPageSize), mask_,
+                                  TlbPolicy::kLatr, {}, nullptr);
+  // CPU 6 ticks repeatedly while CPU 7 lags: without the acked_mask check it
+  // would re-flush both still-pending entries on every tick.
+  TlbSystem::Instance().Tick(6);
+  TlbSystem::Instance().Tick(6);
+  TlbSystem::Instance().Tick(6);
+  TlbSystem::Instance().Tick(7);
+  // Late ticks after completion change nothing either.
+  TlbSystem::Instance().Tick(6);
+  TlbSystem::Instance().Tick(7);
+  EXPECT_EQ(GlobalStats().Total(Counter::kTlbLazyFlushes) - lazy,
+            2u * 2u);  // 2 targets x 2 entries.
+  EXPECT_EQ(TlbSystem::Instance().pending_latr_entries(), pending);
 }
 
 }  // namespace
