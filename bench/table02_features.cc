@@ -14,10 +14,15 @@ int main() {
       "page swapping         Y       n      n       Y       (core_smoke_test.SwapOutAndBackIn)\n"
       "reverse mapping       Y       n      n       Y       (vm_semantics_test.ReverseMapping*)\n"
       "mmaped file           Y       Y      n       Y       (core_smoke_test.PrivateFileMapping)\n"
-      "huge page             Y       n      Y       Y       (rcursor_test.MapHugeAndQueryInterior)\n"
+      "huge page             Y       n      n       Y       (huge_test.HugePageTest.*, huge_test.LinuxHugeTest.*)\n"
       "NUMA policy           Y       Y      Y       n       (paper Table 2: CortenMM lacks it too)\n"
-      "\nNotes: columns reproduce the paper's Table 2; the baselines implemented\n"
-      "here cover the subsets their originals support for the evaluated\n"
-      "workloads (RadixVM file mappings reduced to anon; NrOS eager mapping).\n");
+      "\nNotes: columns reproduce the paper's Table 2 where a backend in this\n"
+      "repository actually implements the feature; cells differing from the\n"
+      "paper reflect the implemented subset (RadixVM file mappings reduced to\n"
+      "anon; NrOS eager mapping, no multi-size leaves). The Linux column's\n"
+      "huge-page support is the THP-style huge=on knob exercised end-to-end\n"
+      "by huge_test.LinuxHugeTest; CortenMM's is the transparent 2 MiB policy\n"
+      "on the multi-size run substrate (huge_test.HugePageTest, chaos Huge\n"
+      "rows, bench_smoke_huge gate).\n");
   return 0;
 }

@@ -6,7 +6,7 @@
 #include "src/common/stats.h"
 #include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
-#include "src/core/addr_space.h"  // DropFrameRef / AddFrameRef
+#include "src/core/addr_space.h"  // DropRunRef / AddFrameRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
 #include "src/tlb/gather.h"
@@ -65,11 +65,29 @@ LinuxVmaMm::~LinuxVmaMm() {
 // per-PT-page locks at level 2 for installing level-1 tables and leaves).
 // ---------------------------------------------------------------------------
 
-Result<Pfn> LinuxVmaMm::EnsurePtPath(Vaddr va) {
+Result<Pfn> LinuxVmaMm::EnsurePtPath(Vaddr va, int target_level) {
   Pfn page = pt_.root();
-  for (int level = kPtLevels; level > 1; --level) {
+  for (int level = kPtLevels; level > target_level; --level) {
     uint64_t index = PtIndex(va, level);
     Pte pte = pt_.LoadEntry(page, index);
+    if (PteIsPresent(pt_.arch(), pte) && PteIsLeaf(pt_.arch(), pte, level)) {
+      // A huge leaf blocks the descent (e.g. the 4 KiB fault path racing a
+      // concurrent THP install). Split it in place under the slot's lock.
+      assert(level == 2);
+      McsNode node;
+      PageDescriptor& desc = PhysMem::Instance().Descriptor(page);
+      desc.mcs.Lock(&node);
+      pte = pt_.LoadEntry(page, index);
+      if (PteIsPresent(pt_.arch(), pte) && PteIsLeaf(pt_.arch(), pte, level)) {
+        Result<Pfn> split = SplitHugeLeafLocked(page, index);
+        if (!split.ok()) {
+          desc.mcs.Unlock(&node);
+          return split;
+        }
+        pte = pt_.LoadEntry(page, index);
+      }
+      desc.mcs.Unlock(&node);
+    }
     if (!PteIsPresent(pt_.arch(), pte)) {
       // Rule 5: hold the lock of the target page table while inserting.
       if (level > 2) {
@@ -105,18 +123,85 @@ Result<Pfn> LinuxVmaMm::EnsurePtPath(Vaddr va) {
   return page;
 }
 
-void LinuxVmaMm::UnmapPtRange(VaRange range, std::vector<Pfn>* dead_frames) {
-  pt_.ForEachLeaf(range, [&](Vaddr va, Pte pte, int level) {
-    assert(level == 1);
-    PageTable::WalkResult walk = pt_.Walk(va);
-    if (!walk.present) {
+Result<Pfn> LinuxVmaMm::SplitHugeLeafLocked(Pfn pt_page, uint64_t index) {
+  Pte leaf = pt_.LoadEntry(pt_page, index);
+  Pfn head = PtePfn(pt_.arch(), leaf);
+  Perm perm = PtePerm(pt_.arch(), leaf);
+  Result<Pfn> child = pt_.AllocPtPage(1);
+  if (!child.ok()) {
+    return child;
+  }
+  // Per-frame mapcounts were taken at install time, so the split only
+  // rewrites translations: same frames, same permissions, finer granularity.
+  for (uint64_t i = 0; i < kPtesPerPage; ++i) {
+    pt_.StoreEntry(*child, i, MakeLeafPte(pt_.arch(), head + i, perm, 1));
+  }
+  pt_.StoreEntry(pt_page, index, MakeTablePte(pt_.arch(), *child));
+  CountEvent(Counter::kHugeSplits);
+  return child;
+}
+
+VoidResult LinuxVmaMm::SplitCoveredHugeLeaves(VaRange range, bool only_partial) {
+  std::vector<Vaddr> to_split;
+  pt_.ForEachLeaf(range, [&](Vaddr va, Pte, int level) {
+    if (level < 2) {
       return;
     }
-    pt_.StoreEntry(walk.pt_page, walk.index, kNullPte);
-    Pfn pfn = PtePfn(pt_.arch(), pte);
-    PhysMem::Instance().Descriptor(pfn).mapcount.fetch_sub(1, std::memory_order_acq_rel);
-    dead_frames->push_back(pfn);
+    VaRange span(va, va + PtEntrySpan(level));
+    if (!only_partial || !range.Contains(span)) {
+      to_split.push_back(va);
+    }
   });
+  for (Vaddr va : to_split) {
+    PageTable::WalkResult walk = pt_.Walk(va);
+    if (!walk.present || walk.level != 2) {
+      continue;
+    }
+    McsNode node;
+    PageDescriptor& desc = PhysMem::Instance().Descriptor(walk.pt_page);
+    desc.mcs.Lock(&node);
+    // Re-check under the lock: a racing splitter may have beaten us here.
+    Result<Pfn> split =
+        PteIsLeaf(pt_.arch(), pt_.LoadEntry(walk.pt_page, walk.index), 2)
+            ? SplitHugeLeafLocked(walk.pt_page, walk.index)
+            : Result<Pfn>(walk.pt_page);
+    desc.mcs.Unlock(&node);
+    if (!split.ok()) {
+      return split.error();
+    }
+  }
+  return VoidResult();
+}
+
+void LinuxVmaMm::UnmapPtRange(VaRange range, std::vector<PageRun>* dead_runs) {
+  struct LeafRec {
+    Vaddr va;
+    Pte pte;
+    int level;
+  };
+  std::vector<LeafRec> leaves;
+  pt_.ForEachLeaf(range, [&](Vaddr va, Pte pte, int level) {
+    leaves.push_back(LeafRec{va, pte, level});
+  });
+  for (const LeafRec& leaf : leaves) {
+    assert(leaf.level <= 2);
+    // Partially-covered huge leaves were split by the caller's
+    // SplitCoveredHugeLeaves pass, so every leaf here dies whole.
+    assert(range.Contains(VaRange(leaf.va, leaf.va + PtEntrySpan(leaf.level))));
+    PageTable::WalkResult walk = pt_.Walk(leaf.va);
+    if (!walk.present) {
+      continue;
+    }
+    pt_.StoreEntry(walk.pt_page, walk.index, kNullPte);
+    Pfn pfn = PtePfn(pt_.arch(), leaf.pte);
+    uint64_t frames = leaf.level == 2 ? (1ull << kHugeOrder) : 1;
+    for (uint64_t f = 0; f < frames; ++f) {
+      PhysMem::Instance().Descriptor(pfn + f).mapcount.fetch_sub(
+          1, std::memory_order_acq_rel);
+    }
+    dead_runs->push_back(
+        PageRun(pfn, leaf.level == 2 ? static_cast<uint8_t>(kHugeOrder) : 0));
+  }
 }
 
 void LinuxVmaMm::FreeEmptyTables(VaRange range) {
@@ -219,7 +304,14 @@ VoidResult LinuxVmaMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
   VaRange range(va, va + len);
   mmap_lock_.WriteLock();
   if (vmas_.FindFirstOverlap(range) != nullptr) {
-    DoMunmapLocked(range);  // MAP_FIXED: replace.
+    // MAP_FIXED: replace. A huge leaf straddling the boundary must split
+    // first; a failed split leaves the space semantically unchanged.
+    VoidResult split = SplitCoveredHugeLeaves(range, /*only_partial=*/true);
+    if (!split.ok()) {
+      mmap_lock_.WriteUnlock();
+      return split;
+    }
+    DoMunmapLocked(range);
   }
   Vma* vma = vmas_.Insert(range.start, range.end, perm);
   // expand(vma): merge with adjacent equal-permission neighbors.
@@ -250,17 +342,22 @@ void LinuxVmaMm::DoMunmapLocked(VaRange range) {
     vmas_.Erase(vma);
   }
   // unmap_vmas() + free_page_tables(), batched mmu_gather-style: the ranges
-  // and dead frames accumulate and flush as one shootdown.
-  std::vector<Pfn> dead_frames;
-  UnmapPtRange(range, &dead_frames);
-  UnchargeAndLruDel(dead_frames.size());
+  // and dead runs accumulate and flush as one shootdown. A whole huge leaf
+  // contributes one order-9 run, not 512 records.
+  std::vector<PageRun> dead_runs;
+  UnmapPtRange(range, &dead_runs);
+  uint64_t dead_frames = 0;
+  for (const PageRun& run : dead_runs) {
+    dead_frames += run.num_frames();
+  }
+  UnchargeAndLruDel(dead_frames);
   FreeEmptyTables(range);
   TlbGather gather;
   gather.AddRange(range);
-  for (Pfn pfn : dead_frames) {
-    gather.AddFrame(pfn);
+  for (const PageRun& run : dead_runs) {
+    gather.AddRun(run);
   }
-  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropRunRef);
 }
 
 VoidResult LinuxVmaMm::Munmap(Vaddr va, uint64_t len) {
@@ -271,6 +368,14 @@ VoidResult LinuxVmaMm::Munmap(Vaddr va, uint64_t len) {
   len = AlignUp(len, kPageSize);
   VaRange range(va, va + len);
   mmap_lock_.WriteLock();
+  // Boundary huge leaves split before anything is torn down, so a kNoMem
+  // here (fault injection) aborts the munmap with the space intact.
+  VoidResult split = SplitCoveredHugeLeaves(range, /*only_partial=*/true);
+  if (!split.ok()) {
+    mmap_lock_.WriteUnlock();
+    FaultInjector::NoteRolledBack();
+    return split;
+  }
   DoMunmapLocked(range);
   mmap_lock_.WriteUnlock();
   va_alloc_.Free(va, len);
@@ -285,6 +390,15 @@ VoidResult LinuxVmaMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
   len = AlignUp(len, kPageSize);
   VaRange range(va, va + len);
   mmap_lock_.WriteLock();
+  // Huge leaves straddling the range boundary get the new permissions only
+  // on the covered part: split them first (fully-covered leaves are
+  // rewritten in place at level 2).
+  VoidResult split = SplitCoveredHugeLeaves(range, /*only_partial=*/true);
+  if (!split.ok()) {
+    mmap_lock_.WriteUnlock();
+    FaultInjector::NoteRolledBack();
+    return split;
+  }
   std::vector<Vma*> affected;
   vmas_.ForEachOverlap(range, [&affected](Vma* vma) { affected.push_back(vma); });
   for (Vma*& vma : affected) {
@@ -300,12 +414,10 @@ VoidResult LinuxVmaMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
     vma->seq.WriteEnd();
     vma->lock.WriteUnlock();
   }
-  // Rewrite present PTEs in the range.
-  std::vector<std::pair<Vaddr, Pfn>> present;
-  pt_.ForEachLeaf(range, [&](Vaddr lva, Pte pte, int) {
-    present.emplace_back(lva, PtePfn(pt_.arch(), pte));
-  });
-  for (const auto& [lva, pfn] : present) {
+  // Rewrite present PTEs in the range, each at its own leaf level.
+  std::vector<Vaddr> present;
+  pt_.ForEachLeaf(range, [&](Vaddr lva, Pte, int) { present.push_back(lva); });
+  for (Vaddr lva : present) {
     PageTable::WalkResult walk = pt_.Walk(lva);
     if (walk.present) {
       Pte old = walk.pte;
@@ -314,7 +426,8 @@ VoidResult LinuxVmaMm::Mprotect(Vaddr va, uint64_t len, Perm perm) {
         updated = updated.With(Perm::kCow).Without(Perm::kWrite);
       }
       pt_.StoreEntry(walk.pt_page, walk.index,
-                     MakeLeafPte(pt_.arch(), PtePfn(pt_.arch(), old), updated, 1));
+                     MakeLeafPte(pt_.arch(), PtePfn(pt_.arch(), old), updated,
+                                 walk.level));
     }
   }
   TlbGather gather;
@@ -382,7 +495,7 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
               TlbGather gather;
               gather.AddRange(VaRange(page_va, page_va + kPageSize));
               gather.AddFrame(old_pfn);
-              gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
+              gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropRunRef);
             }
           }
         }
@@ -393,6 +506,10 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
     }
   } else if (!PermAllowsAccess(perm, access)) {
     result = ErrCode::kFault;
+  } else if (options_.huge && AlignDown(va, kHugePageSize) >= vma->start &&
+             AlignDown(va, kHugePageSize) + kHugePageSize <= vma->end &&
+             TryHugeDemandFault(AlignDown(va, kHugePageSize), perm)) {
+    // THP install resolved the fault (or found a huge leaf already there).
   } else {
     // Demand-zero fill under the leaf table's lock (Table 1 rule 5). A failed
     // path allocation surfaces as kNoMem with nothing installed.
@@ -433,6 +550,54 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
   return result;
 }
 
+bool LinuxVmaMm::TryHugeDemandFault(Vaddr huge_base, Perm perm) {
+  Result<Pfn> table = EnsurePtPath(huge_base, /*target_level=*/2);
+  if (!table.ok()) {
+    return false;  // The 4 KiB path retries and surfaces the error.
+  }
+  McsNode node;
+  PageDescriptor& table_desc = PhysMem::Instance().Descriptor(*table);
+  table_desc.mcs.Lock(&node);
+  uint64_t index = PtIndex(huge_base, 2);
+  Pte pte = pt_.LoadEntry(*table, index);
+  if (PteIsPresent(pt_.arch(), pte)) {
+    bool resolved = PteIsLeaf(pt_.arch(), pte, 2);
+    table_desc.mcs.Unlock(&node);
+    // A racing huge install resolved the fault; a level-1 table under the
+    // slot means mixed occupancy — take the 4 KiB path.
+    return resolved;
+  }
+  Result<Pfn> run = BuddyAllocator::Instance().AllocHugeRun();
+  if (!run.ok()) {
+    table_desc.mcs.Unlock(&node);
+    CountEvent(Counter::kHugeFallbacks);
+    FaultInjector::NoteSurvived();
+    return false;  // Fallback ladder: 4 KiB demand fill.
+  }
+  PhysMem& mem = PhysMem::Instance();
+  for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
+    PageDescriptor& desc = mem.Descriptor(*run + f);
+    desc.ResetForAlloc(FrameType::kAnon);
+    desc.mapcount.store(1, std::memory_order_relaxed);
+    mem.ZeroFrame(*run + f);
+  }
+  {
+    // Rmap for the compound head (page_add_new_anon_rmap on the head page).
+    PageDescriptor& head_desc = mem.Descriptor(*run);
+    SpinGuard rmap_guard(head_desc.rmap_lock);
+    head_desc.owner = this;
+    head_desc.owner_key = huge_base;
+  }
+  pt_.StoreEntry(*table, index, MakeLeafPte(pt_.arch(), *run, perm, 2));
+  table_desc.mcs.Unlock(&node);
+  // The compound page is one LRU entry but 512 memcg pages.
+  ChargeAndLruAdd(*run);
+  memcg_charged_.fetch_add((1ull << kHugeOrder) - 1, std::memory_order_relaxed);
+  CountEvent(Counter::kHugeFaults);
+  CountEvent(Counter::kDemandZeroFills, 1ull << kHugeOrder);
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // fork
 // ---------------------------------------------------------------------------
@@ -446,6 +611,18 @@ std::unique_ptr<MmInterface> LinuxVmaMm::Fork() {
   }
   std::unique_ptr<LinuxVmaMm> child = std::move(*created);
   mmap_lock_.WriteLock();
+  // Pre-THP-aware fork: split every huge leaf to base pages first so the
+  // per-leaf COW demotion below stays 4 KiB-only (real Linux did exactly
+  // this until copy_huge_pmd landed). Splits are observationally invisible,
+  // so a kNoMem here aborts the fork with the parent unchanged.
+  VoidResult split =
+      SplitCoveredHugeLeaves(VaRange(0, kVaLimit), /*only_partial=*/false);
+  if (!split.ok()) {
+    mmap_lock_.WriteUnlock();
+    child.reset();
+    FaultInjector::NoteRolledBack();
+    return nullptr;
+  }
   // Duplicate the VMA tree (the cheap enumeration Linux is good at, Fig. 20),
   // then COW-copy page-table contents within each VMA only.
   std::vector<Vma*> all;

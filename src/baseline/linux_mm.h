@@ -33,6 +33,11 @@ class LinuxVmaMm final : public MmInterface {
   struct Options {
     Arch arch = Arch::kX86_64;
     TlbPolicy tlb_policy = TlbPolicy::kSync;
+    // THP-style knob (transparent_hugepage=always analog): anonymous faults
+    // install a 2 MiB leaf when the VMA covers the aligned slot, falling back
+    // to 4 KiB when the order-9 allocation fails. Like pre-THP-aware Linux,
+    // fork and partial munmap/mprotect split huge leaves back to base pages.
+    bool huge = false;
   };
 
   // Aborts loudly if the page-table root cannot be allocated; use Create for
@@ -75,11 +80,35 @@ class LinuxVmaMm final : public MmInterface {
   bool CheckVmaTree();
 
  private:
-  // Page-table plumbing (caller holds the locks per Table 1). Returns kNoMem
-  // when an intermediate PT page cannot be allocated; no partial state needs
-  // undoing (already-linked intermediate tables are empty and harmless).
-  Result<Pfn> EnsurePtPath(Vaddr va);
-  void UnmapPtRange(VaRange range, std::vector<Pfn>* dead_frames);
+  // Page-table plumbing (caller holds the locks per Table 1). Returns the PT
+  // page holding the slot at |target_level| (default: the level-1 leaf
+  // table), or kNoMem when an intermediate PT page cannot be allocated; no
+  // partial state needs undoing (already-linked intermediate tables are empty
+  // and harmless). A huge leaf encountered above |target_level| is split in
+  // place under that page's lock — semantically invisible, so safe from the
+  // fault path.
+  Result<Pfn> EnsurePtPath(Vaddr va, int target_level = 1);
+  // Splits the level-2 huge leaf at (pt_page, index) into a level-1 table of
+  // base leaves with identical permissions. Caller holds the lock covering
+  // the slot. Returns the new level-1 table, or kNoMem with the leaf intact.
+  Result<Pfn> SplitHugeLeafLocked(Pfn pt_page, uint64_t index);
+  // Splits every huge leaf intersecting |range| (only the partially-covered
+  // ones when |only_partial|). Splits are observationally invisible, so a
+  // kNoMem after some splits leaves the space semantically unchanged and the
+  // caller can surface the error with nothing to undo. Caller holds the
+  // mmap_lock writer side.
+  VoidResult SplitCoveredHugeLeaves(VaRange range, bool only_partial);
+  // After SplitCoveredHugeLeaves(range, only_partial=true), every leaf that
+  // intersects |range| is fully covered by it: level-1 leaves become order-0
+  // dead runs, level-2 leaves order-9 runs.
+  void UnmapPtRange(VaRange range, std::vector<PageRun>* dead_runs);
+  // THP fault path: tries to resolve an anon fault by installing a 2 MiB
+  // leaf over [huge_base, huge_base + 2 MiB) (the VMA must cover it).
+  // Returns true if the fault is resolved (leaf installed, or another thread
+  // already installed one); false means "take the 4 KiB path" — the slot
+  // holds a level-1 table, or the order-9 allocation failed (counted as
+  // huge_fallbacks).
+  bool TryHugeDemandFault(Vaddr huge_base, Perm perm);
   void FreeEmptyTables(VaRange range);
   // Removes all VMAs overlapping |range| (splitting edges) and clears the
   // covered PTEs. Caller holds the mmap_lock writer side.

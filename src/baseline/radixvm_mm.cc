@@ -6,7 +6,7 @@
 #include "src/common/stats.h"
 #include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
-#include "src/core/addr_space.h"  // DropFrameRef
+#include "src/core/addr_space.h"  // DropRunRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
 #include "src/tlb/gather.h"
@@ -263,7 +263,7 @@ VoidResult RadixVmMm::Munmap(Vaddr va, uint64_t len) {
   for (Pfn pfn : dead_frames) {
     gather.AddFrame(pfn);
   }
-  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropRunRef);
   va_alloc_.Free(va, AlignUp(len, kPageSize));
   return VoidResult();
 }

@@ -50,6 +50,20 @@ const char* CounterName(Counter c) {
       return "swap_outs";
     case Counter::kSwapIns:
       return "swap_ins";
+    case Counter::kHugeFaults:
+      return "huge_faults";
+    case Counter::kHugeSplits:
+      return "huge_splits";
+    case Counter::kHugeFallbacks:
+      return "huge_fallbacks";
+    case Counter::kHugeAllocs:
+      return "huge_allocs";
+    case Counter::kHugeFrees:
+      return "huge_frees";
+    case Counter::kHugeCacheHits:
+      return "huge_cache_hits";
+    case Counter::kHugeAllocFailures:
+      return "huge_alloc_failures";
     case Counter::kCount:
       break;
   }

@@ -37,6 +37,14 @@ enum class Counter : int {
   kVmaMerges,
   kSwapOuts,
   kSwapIns,
+  kHugeFaults,         // 2 MiB leaves installed by the fault path.
+  kHugeSplits,         // Huge leaves shattered into 512 base leaves.
+  kHugeFallbacks,      // Huge fault-ins that fell back to 4 KiB on kNoMem.
+  kHugeAllocs,         // Order-9 runs handed out by the buddy (incl. cache hits).
+  kHugeFrees,          // Order-9 runs returned whole to the buddy/cache.
+  kHugeCacheHits,      // AllocHugeRun served from the per-CPU huge cache.
+  kHugeAllocFailures,  // Order-9 requests the buddy could not satisfy
+                       // (fragmentation or exhaustion) — the fallback trigger.
   kCount,
 };
 

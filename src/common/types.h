@@ -45,6 +45,27 @@ constexpr bool IsAligned(uint64_t x, uint64_t a) { return (x & (a - 1)) == 0; }
 
 inline constexpr Pfn kInvalidPfn = ~0ull;
 
+// A 2 MiB leaf (level-2 PTE) covers 2^kHugeOrder base frames.
+inline constexpr uint64_t kHugeOrder = kPteIndexBits;               // 9
+inline constexpr uint64_t kHugePageSize = kPageSize << kHugeOrder;  // 2 MiB
+
+// A naturally-aligned run of 2^order physical frames starting at |pfn|.
+// Order 0 is a single 4 KiB frame; order kHugeOrder backs a 2 MiB leaf.
+// This is the unit the policy layers, the gather, and the reclaim path
+// speak once the MM stops assuming "page == 4 KiB frame".
+struct PageRun {
+  Pfn pfn = kInvalidPfn;
+  uint8_t order = 0;
+
+  constexpr PageRun() = default;
+  constexpr PageRun(Pfn p, uint8_t o) : pfn(p), order(o) {}
+
+  constexpr uint64_t num_frames() const { return 1ull << order; }
+  constexpr uint64_t num_bytes() const { return kPageSize << order; }
+  constexpr bool aligned() const { return IsAligned(pfn, num_frames()); }
+  friend constexpr bool operator==(const PageRun&, const PageRun&) = default;
+};
+
 // A half-open virtual address range [start, end).
 struct VaRange {
   Vaddr start = 0;

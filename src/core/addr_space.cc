@@ -61,6 +61,50 @@ void DropFrameRef(Pfn pfn) {
   }
 }
 
+void DropRunRef(PageRun run) {
+  if (run.order == 0) {
+    DropFrameRef(run.pfn);
+    return;
+  }
+  if (run.order > kHugeOrder) {
+    // Larger-than-huge runs (a hypothetical 1 GiB leaf) have no whole-block
+    // free path; fall back to per-frame disposal.
+    for (uint64_t f = 0; f < run.num_frames(); ++f) {
+      DropFrameRef(run.pfn + f);
+    }
+    return;
+  }
+  // One pass over the run's refcounts, remembering which frames died. A
+  // never-shared huge leaf dies whole and returns to the buddy as one block;
+  // a run that was partially shared (fork COW copied some frames away) frees
+  // only its dead frames individually.
+  PhysMem& mem = PhysMem::Instance();
+  uint64_t dead[(1ull << kHugeOrder) / 64] = {};
+  bool all_dead = true;
+  bool any_dead = false;
+  for (uint64_t f = 0; f < run.num_frames(); ++f) {
+    PageDescriptor& desc = mem.Descriptor(run.pfn + f);
+    if (desc.refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      dead[f / 64] |= 1ull << (f % 64);
+      any_dead = true;
+    } else {
+      all_dead = false;
+    }
+  }
+  if (all_dead && run.order == kHugeOrder) {
+    BuddyAllocator::Instance().FreeHugeRun(run.pfn);
+    return;
+  }
+  if (!any_dead) {
+    return;
+  }
+  for (uint64_t f = 0; f < run.num_frames(); ++f) {
+    if (dead[f / 64] & (1ull << (f % 64))) {
+      BuddyAllocator::Instance().FreeFrame(run.pfn + f);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // AddrSpace
 // ---------------------------------------------------------------------------
@@ -102,7 +146,7 @@ RCursor AddrSpace::Lock(VaRange range) {
 }
 
 void AddrSpace::TlbFlush(TlbGather& gather) {
-  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropFrameRef);
+  gather.Flush(asid_, active_cpus_, options_.tlb_policy, &DropRunRef);
 }
 
 uint64_t AddrSpace::PtBytes() const { return pt_.CountPtPages() * kPageSize; }

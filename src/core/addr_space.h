@@ -239,6 +239,10 @@ class AddrSpace {
     // Per-core virtual address allocator (§4.5 optimization); the Fig. 16
     // ablation adv_base disables it.
     bool per_core_va = true;
+    // Transparent huge pages: the fault path installs a 2 MiB leaf when the
+    // faulting region is huge-aligned, uniformly virtually-allocated anon,
+    // and an order-9 run is available — falling back to 4 KiB on kNoMem.
+    bool huge_pages = false;
   };
 
   // Aborts loudly if the page-table root cannot be allocated; OOM-propagating
@@ -261,7 +265,9 @@ class AddrSpace {
   const PageTable& page_table() const { return pt_; }
 
   // Virtual address allocation (per-core when enabled).
-  Result<Vaddr> AllocVa(uint64_t len) { return va_alloc_.Alloc(len); }
+  Result<Vaddr> AllocVa(uint64_t len, uint64_t align = kPageSize) {
+    return va_alloc_.Alloc(len, align);
+  }
   void FreeVa(Vaddr va, uint64_t len) { va_alloc_.Free(va, len); }
 
   // CPU residency for TLB shootdowns. Read-mostly: the simulated MMU calls
@@ -305,10 +311,15 @@ class AddrSpace {
 };
 
 // Drops one reference on a data frame, returning it to the buddy allocator
-// when the last owner disappears. Used as the shootdown FrameFreer.
+// when the last owner disappears.
 void DropFrameRef(Pfn pfn);
 // Adds an owner reference.
 void AddFrameRef(Pfn pfn);
+// Drops one reference on every frame of |run|. If the whole run dies at once
+// (the common case for a huge leaf that was never split or shared) it goes
+// back to the buddy as ONE block; frames that die while others survive are
+// freed individually. Used as the shootdown RunFreer.
+void DropRunRef(PageRun run);
 
 }  // namespace cortenmm
 

@@ -81,6 +81,7 @@ Result<Pfn> RCursor::SplitLeaf(Pfn pt_page, int level, uint64_t index) {
   if (!child.ok()) {
     return child;
   }
+  CountEvent(Counter::kHugeSplits);
   NoteLocked(*child, level - 1);
   uint64_t frames_per_entry = LeafFrames(level - 1);
   for (uint64_t j = 0; j < kPtesPerPage; ++j) {
@@ -177,9 +178,11 @@ void RCursor::ClearLeaf(Pfn pt_page, int level, uint64_t index, Vaddr va) {
   uint64_t frames = LeafFrames(level);
   for (uint64_t f = 0; f < frames; ++f) {
     mem.Descriptor(head + f).mapcount.fetch_sub(1, std::memory_order_acq_rel);
-    // The reference is dropped only after the TLB shootdown completes.
-    gather_.AddFrame(head + f);
   }
+  // The references are dropped only after the TLB shootdown completes — and
+  // the whole leaf is ONE gathered record whatever its order, so a 2 MiB
+  // unmap costs one dead-run entry, not 512.
+  gather_.AddRun(PageRun(head, static_cast<uint8_t>(kPteIndexBits * (level - 1))));
   pages_touched_ += frames;
   NoteFlush(VaRange(va, va + PtEntrySpan(level)));
 }
@@ -200,7 +203,8 @@ Status RCursor::Query(Vaddr addr) {
       if (PteIsLeaf(pt.arch(), pte, level)) {
         Vaddr leaf_base = AlignDown(addr, PtEntrySpan(level));
         uint64_t delta = (addr - leaf_base) >> kPageBits;
-        return Status::Mapped(PtePfn(pt.arch(), pte) + delta, PtePerm(pt.arch(), pte));
+        return Status::Mapped(PtePfn(pt.arch(), pte) + delta, PtePerm(pt.arch(), pte),
+                              static_cast<uint8_t>(level));
       }
       page = PtePfn(pt.arch(), pte);
       --level;
@@ -638,8 +642,8 @@ void RCursor::StatusIn(Pfn pt_page, int level, Vaddr page_base, VaRange sub,
     if (PteIsPresent(pt.arch(), pte)) {
       if (PteIsLeaf(pt.arch(), pte, level)) {
         uint64_t delta = (inter.start - entry_va) >> kPageBits;
-        visit(inter,
-              Status::Mapped(PtePfn(pt.arch(), pte) + delta, PtePerm(pt.arch(), pte)));
+        visit(inter, Status::Mapped(PtePfn(pt.arch(), pte) + delta,
+                                    PtePerm(pt.arch(), pte), static_cast<uint8_t>(level)));
       } else {
         StatusIn(PtePfn(pt.arch(), pte), level - 1, entry_va, inter, visit);
       }

@@ -29,6 +29,11 @@ struct Status {
 
   // kMapped
   Pfn pfn = kInvalidPfn;
+  // Level of the leaf PTE backing a kMapped page: 1 = 4 KiB, 2 = 2 MiB.
+  // Purely informational — it is NOT part of equality (below), because
+  // splitting a huge leaf into 512 identical base leaves must stay
+  // observationally invisible through the transactional interface.
+  uint8_t level = 1;
 
   // kPrivateFileMapped / kSharedAnon: backing object id + page offset into it.
   // kSwapped: swap device id + block number.
@@ -37,11 +42,12 @@ struct Status {
 
   static Status Invalid() { return Status{}; }
 
-  static Status Mapped(Pfn pfn, Perm perm) {
+  static Status Mapped(Pfn pfn, Perm perm, uint8_t level = 1) {
     Status s;
     s.tag = StatusTag::kMapped;
     s.pfn = pfn;
     s.perm = perm;
+    s.level = level;
     return s;
   }
 

@@ -23,44 +23,59 @@ VaAllocator::Stripe& VaAllocator::StripeFor(CpuId cpu) {
   return stripe;
 }
 
-Result<Vaddr> VaAllocator::AllocFrom(Stripe& stripe, uint64_t len) {
+Result<Vaddr> VaAllocator::AllocFrom(Stripe& stripe, uint64_t len, uint64_t align) {
   SpinGuard guard(stripe.lock);
   // First-fit reuse of freed runs keeps long-running munmap/mmap workloads
-  // from exhausting the stripe.
+  // from exhausting the stripe. An aligned request carves its block out of
+  // the middle of a run if needed, returning the leading fragment to the
+  // list and keeping the trailing remainder in place.
   for (size_t i = 0; i < stripe.free_runs.size(); ++i) {
-    if (stripe.free_runs[i].len >= len) {
-      Vaddr va = stripe.free_runs[i].va;
-      if (stripe.free_runs[i].len == len) {
-        stripe.free_runs[i] = stripe.free_runs.back();
-        stripe.free_runs.pop_back();
-      } else {
-        stripe.free_runs[i].va += len;
-        stripe.free_runs[i].len -= len;
-      }
-      return va;
+    FreeRun& run = stripe.free_runs[i];
+    Vaddr aligned = AlignUp(run.va, align);
+    uint64_t lead = aligned - run.va;
+    if (run.len < lead + len) {
+      continue;
     }
+    uint64_t tail = run.len - lead - len;
+    if (lead == 0 && tail == 0) {
+      stripe.free_runs[i] = stripe.free_runs.back();
+      stripe.free_runs.pop_back();
+    } else if (lead == 0) {
+      run.va += len;
+      run.len = tail;
+    } else {
+      run.len = lead;
+      if (tail != 0) {
+        stripe.free_runs.push_back(FreeRun{aligned + len, tail});
+      }
+    }
+    return aligned;
   }
-  if (stripe.bump + len > stripe.limit) {
+  Vaddr aligned = AlignUp(stripe.bump, align);
+  if (aligned + len > stripe.limit || aligned + len < aligned) {
     return ErrCode::kNoSpace;
   }
-  Vaddr va = stripe.bump;
-  stripe.bump += len;
-  return va;
+  if (aligned != stripe.bump) {
+    // The alignment gap is still usable address space; remember it.
+    stripe.free_runs.push_back(FreeRun{stripe.bump, aligned - stripe.bump});
+  }
+  stripe.bump = aligned + len;
+  return aligned;
 }
 
-Result<Vaddr> VaAllocator::Alloc(uint64_t len) {
-  if (len == 0) {
+Result<Vaddr> VaAllocator::Alloc(uint64_t len, uint64_t align) {
+  if (len == 0 || align < kPageSize || (align & (align - 1)) != 0) {
     return ErrCode::kInval;
   }
   len = AlignUp(len, kPageSize);
   Stripe& home = StripeFor(CurrentCpu());
-  Result<Vaddr> result = AllocFrom(home, len);
+  Result<Vaddr> result = AllocFrom(home, len, align);
   if (result.ok() || !per_core_) {
     return result;
   }
   // Home stripe exhausted: steal from any other stripe.
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    Result<Vaddr> stolen = AllocFrom(StripeFor(cpu), len);
+    Result<Vaddr> stolen = AllocFrom(StripeFor(cpu), len, align);
     if (stolen.ok()) {
       return stolen;
     }

@@ -24,8 +24,11 @@ class VaAllocator {
  public:
   explicit VaAllocator(bool per_core) : per_core_(per_core) {}
 
-  // Returns a page-aligned range of |len| bytes (rounded up to pages).
-  Result<Vaddr> Alloc(uint64_t len);
+  // Returns a range of |len| bytes (rounded up to pages) whose start is
+  // |align|-aligned. |align| must be a power of two >= kPageSize; the default
+  // is plain page alignment. Huge-page policies pass kHugePageSize so a
+  // region's 2 MiB spans line up with level-2 PT slots.
+  Result<Vaddr> Alloc(uint64_t len, uint64_t align = kPageSize);
   // Returns the range to the allocator's free list.
   void Free(Vaddr va, uint64_t len);
 
@@ -42,7 +45,7 @@ class VaAllocator {
   };
 
   Stripe& StripeFor(CpuId cpu);
-  Result<Vaddr> AllocFrom(Stripe& stripe, uint64_t len);
+  Result<Vaddr> AllocFrom(Stripe& stripe, uint64_t len, uint64_t align);
 
   // With per-core allocation, each CPU owns kUserVa window / kMaxCpus; the
   // shared variant uses stripe 0 for everything.

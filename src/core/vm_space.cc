@@ -69,7 +69,12 @@ VmSpace::~VmSpace() {
 
 Result<Vaddr> VmSpace::MmapAnon(uint64_t len, Perm perm) {
   ScopedOpTimer telemetry_timer(MmOp::kMmap);
-  Result<Vaddr> va = space_.AllocVa(len);
+  // Under the huge-page policy, regions big enough to hold a 2 MiB leaf are
+  // placed on a 2 MiB boundary so their spans line up with level-2 slots —
+  // otherwise no fault inside them could ever be huge-eligible.
+  uint64_t align =
+      (space_.options().huge_pages && len >= kHugePageSize) ? kHugePageSize : kPageSize;
+  Result<Vaddr> va = space_.AllocVa(len, align);
   if (!va.ok()) {
     return va;
   }
@@ -330,12 +335,72 @@ VoidResult VmSpace::FaultInPage(RCursor& cursor, Vaddr page_va, const Status& st
   }
 }
 
+// Attempts the top rung of the fault-in ladder: one order-9 run backing one
+// level-2 leaf over the whole slot. Eligibility is decided inside the
+// transaction (so a racing map/munmap cannot invalidate it): every byte of
+// the slot must be virtually-allocated private-anon with the faulting
+// status's permissions, and nothing in it may already be mapped.
+bool VmSpace::TryHugeFaultIn(RCursor& cursor, VaRange huge_range, const Status& status,
+                             Access access) {
+  if ((access == Access::kWrite && !status.perm.write()) ||
+      (access == Access::kRead && !status.perm.read()) ||
+      (access == Access::kExec && !status.perm.exec())) {
+    return false;  // Not resolvable at any page size; the 4 KiB path SEGVs.
+  }
+  uint64_t covered = 0;
+  bool uniform = true;
+  cursor.ForEachStatus(huge_range, [&](VaRange run, const Status& s) {
+    if (s.tag == StatusTag::kPrivateAnon && s.perm == status.perm) {
+      covered += run.size();
+    } else {
+      uniform = false;
+    }
+  });
+  if (!uniform || covered != kHugePageSize) {
+    return false;
+  }
+  Result<Pfn> run = BuddyAllocator::Instance().AllocHugeRun();
+  if (!run.ok()) {
+    CountEvent(Counter::kHugeFallbacks);
+    FaultInjector::NoteSurvived();
+    return false;  // Fragmentation/exhaustion: drop to the 4 KiB rung.
+  }
+  PhysMem& mem = PhysMem::Instance();
+  for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
+    mem.Descriptor(*run + f).ResetForAlloc(FrameType::kAnon);
+    mem.ZeroFrame(*run + f);
+  }
+  {
+    PageDescriptor& head = mem.Descriptor(*run);
+    SpinGuard guard(head.rmap_lock);
+    head.owner = &space_;
+    head.owner_key = huge_range.start;
+  }
+  VoidResult mapped = cursor.MapHuge(huge_range.start, *run, status.perm, 2);
+  if (!mapped.ok()) {
+    // The run was never installed; dropping our references returns it to the
+    // buddy whole and leaves the space exactly as it was.
+    DropRunRef(PageRun(*run, static_cast<uint8_t>(kHugeOrder)));
+    FaultInjector::NoteRolledBack();
+    CountEvent(Counter::kHugeFallbacks);
+    return false;
+  }
+  CountEvent(Counter::kHugeFaults);
+  CountEvent(Counter::kDemandZeroFills, 1ull << kHugeOrder);
+  return true;
+}
+
 VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   ScopedOpTimer telemetry_timer(MmOp::kFault);
   CountEvent(Counter::kPageFaults);
   space_.NoteCpuActive(CurrentCpu());
   Vaddr page_va = AlignDown(va, kPageSize);
-  VaRange fault_range(page_va, page_va + kPageSize);
+  // Under the huge-page policy the transaction covers the surrounding 2 MiB
+  // slot, so an eligible anon fault can install a level-2 leaf — and a write
+  // to a huge COW leaf can split it — under the one covering lock.
+  bool huge = space_.options().huge_pages;
+  Vaddr lock_base = huge ? AlignDown(page_va, kHugePageSize) : page_va;
+  VaRange fault_range(lock_base, lock_base + (huge ? kHugePageSize : kPageSize));
   RCursor cursor = space_.Lock(fault_range);
   Status status = cursor.Query(page_va);
 
@@ -393,6 +458,10 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
 
   if (status.invalid()) {
     return ErrCode::kFault;  // SEGV.
+  }
+  if (huge && status.tag == StatusTag::kPrivateAnon &&
+      TryHugeFaultIn(cursor, fault_range, status, access)) {
+    return VoidResult();
   }
   return FaultInPage(cursor, page_va, status, access);
 }

@@ -79,6 +79,13 @@ class VmSpace {
  private:
   VoidResult FaultInPage(RCursor& cursor, Vaddr page_va, const Status& status,
                          Access access);
+  // Huge-page policy (options().huge_pages): tries to resolve an anon fault by
+  // installing a 2 MiB leaf over |huge_range| (which |cursor| must cover).
+  // Returns true if the leaf was installed; false means "take the 4 KiB path"
+  // — either the slot is not uniformly eligible or the order-9 allocation
+  // failed (the fallback ladder's kNoMem rung, counted as huge_fallbacks).
+  bool TryHugeFaultIn(RCursor& cursor, VaRange huge_range, const Status& status,
+                      Access access);
 
   AddrSpace space_;
 };

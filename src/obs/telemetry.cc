@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <sstream>
 
@@ -396,6 +397,51 @@ std::string Telemetry::DumpJson(const std::string& label) const {
 #endif  // CORTENMM_TELEMETRY
 
 // ---------------------------------------------------------------------------
+// BuildConfig
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::map<std::string, std::string>& BuildConfigMap() {
+  static std::map<std::string, std::string> config = {
+      {"arch", "x86_64"},
+      {"protocol", "default"},
+      {"telemetry", CORTENMM_TELEMETRY ? "on" : "off"},
+      {"faultinj", CORTENMM_FAULTINJ ? "on" : "off"},
+      {"page_size_policy", "4k"},
+  };
+  return config;
+}
+
+std::mutex& BuildConfigMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+void BuildConfig::Set(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> guard(BuildConfigMutex());
+  BuildConfigMap()[key] = value;
+}
+
+std::string BuildConfig::Json() {
+  std::lock_guard<std::mutex> guard(BuildConfigMutex());
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : BuildConfigMap()) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\"" << key << "\":\"" << value << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
 // TelemetrySink
 // ---------------------------------------------------------------------------
 
@@ -433,7 +479,8 @@ std::string TelemetrySink::Write() {
   }
   std::ostringstream os;
   os << "{\"bench\":\"" << bench_name_ << "\",\"telemetry\":\""
-     << (CORTENMM_TELEMETRY ? "enabled" : "disabled") << "\",\"snapshots\":[";
+     << (CORTENMM_TELEMETRY ? "enabled" : "disabled")
+     << "\",\"build\":" << BuildConfig::Json() << ",\"snapshots\":[";
   for (size_t i = 0; i < snapshots_.size(); ++i) {
     if (i != 0) {
       os << ",";

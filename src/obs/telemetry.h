@@ -399,12 +399,26 @@ class AcquireSampler {
 
 #endif  // CORTENMM_TELEMETRY
 
+// The build/run configuration block stamped into every telemetry document:
+// compile-time flags (telemetry, fault injection) are pre-populated; run-
+// dependent keys (arch, protocol, page_size_policy) default conservatively
+// and benches override them via Set. Keys emit in sorted order so documents
+// diff cleanly across runs.
+class BuildConfig {
+ public:
+  static void Set(const std::string& key, const std::string& value);
+  // The whole block as a JSON object, e.g.
+  // {"arch":"x86_64","faultinj":"on","page_size_policy":"4k",...}.
+  static std::string Json();
+};
+
 // Accumulates labelled Telemetry snapshots and writes them as one JSON
 // document, so every bench emits a machine-readable BENCH_<name>.json next to
 // its stdout tables. The output path defaults to BENCH_<name>.json in the
 // working directory; the CORTENMM_TELEMETRY_JSON environment variable
 // overrides it. With telemetry compiled out the file records only
-// {"telemetry": "disabled"}.
+// {"telemetry": "disabled"}. Every document carries the BuildConfig block so
+// a result can never be mistaken for one produced under different flags.
 class TelemetrySink {
  public:
   explicit TelemetrySink(const std::string& bench_name);

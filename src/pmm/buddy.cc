@@ -102,12 +102,15 @@ Result<Pfn> BuddyAllocator::AllocBlockLocked(int order) {
 
 void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
   PhysMem& mem = PhysMem::Instance();
-  // The freed→kFree transition happens here, under lock_: typing the frame
-  // free before holding the lock would open a window where it is marked free
-  // but still reachable (and not yet on any free list). When the block
-  // coalesces, PushFree retypes only the merged head; the head passed in is
-  // typed here so it never reads as live after the free.
-  mem.Descriptor(pfn).type.store(FrameType::kFree, std::memory_order_relaxed);
+  // The freed→kFree transition happens here, under lock_: typing the frames
+  // free before holding the lock would open a window where they are marked
+  // free but still reachable (and not yet on any free list). Every frame of
+  // the run is retyped, not just the head — a tail frame that kept its old
+  // type (kAnon, say) would read as live-but-unreferenced to the well-
+  // formedness checker's stranded-run scan.
+  for (uint64_t f = 0; f < (1ull << order); ++f) {
+    mem.Descriptor(pfn + f).type.store(FrameType::kFree, std::memory_order_relaxed);
+  }
   free_frames_.fetch_add(1ull << order, std::memory_order_relaxed);
   // Coalesce with the buddy while possible.
   while (order < kMaxOrder) {
@@ -137,10 +140,76 @@ Result<Pfn> BuddyAllocator::AllocBlock(int order) {
     return AllocBlockLocked(order);
   }();
   if (result.ok()) {
-    PhysMem::Instance().Descriptor(*result).ResetForAlloc(FrameType::kKernel);
+    // Reset every frame, not just the head: each descriptor in the run must
+    // carry live type/refcount state or the run cannot be reclaimed
+    // frame-by-frame after a split.
+    for (uint64_t f = 0; f < (1ull << order); ++f) {
+      PhysMem::Instance().Descriptor(*result + f).ResetForAlloc(FrameType::kKernel);
+    }
     CountEvent(Counter::kFramesAllocated, 1ull << order);
   }
   return result;
+}
+
+Result<Pfn> BuddyAllocator::AllocHugeRun() {
+  // Same injection site as AllocBlock: chaos schedules that starve block
+  // allocation starve huge fault-in too, which is exactly the fallback
+  // ladder the policy layer must survive.
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocBlock)) {
+    CountEvent(Counter::kHugeAllocFailures);
+    return ErrCode::kNoMem;
+  }
+  PhysMem& mem = PhysMem::Instance();
+  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
+  Pfn head = kInvalidPfn;
+  {
+    SpinGuard guard(cache.lock);
+    if (!cache.huge_runs.empty()) {
+      head = cache.huge_runs.back();
+      cache.huge_runs.pop_back();
+    }
+  }
+  if (head != kInvalidPfn) {
+    CountEvent(Counter::kHugeCacheHits);
+  } else {
+    Result<Pfn> r = [&] {
+      SpinGuard guard(lock_);
+      return AllocBlockLocked(static_cast<int>(kHugeOrder));
+    }();
+    if (!r.ok()) {
+      CountEvent(Counter::kHugeAllocFailures);
+      return r;
+    }
+    head = *r;
+  }
+  for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
+    mem.Descriptor(head + f).ResetForAlloc(FrameType::kKernel);
+  }
+  CountEvent(Counter::kHugeAllocs);
+  CountEvent(Counter::kFramesAllocated, 1ull << kHugeOrder);
+  return head;
+}
+
+void BuddyAllocator::FreeHugeRun(Pfn head) {
+  assert(IsAligned(head, 1ull << kHugeOrder));
+  CountEvent(Counter::kHugeFrees);
+  CountEvent(Counter::kFramesFreed, 1ull << kHugeOrder);
+  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
+  {
+    SpinGuard guard(cache.lock);
+    if (cache.huge_runs.size() < kHugeCacheMax) {
+      // Parked, not free — and the WHOLE run is typed kCached, so no tail
+      // frame keeps a live-looking type while sitting in the cache.
+      for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
+        PhysMem::Instance().Descriptor(head + f).type.store(FrameType::kCached,
+                                                            std::memory_order_relaxed);
+      }
+      cache.huge_runs.push_back(head);
+      return;
+    }
+  }
+  SpinGuard guard(lock_);
+  FreeBlockLocked(head, static_cast<int>(kHugeOrder));
 }
 
 void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
@@ -223,14 +292,19 @@ void BuddyAllocator::FlushCpuCaches() {
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
     CpuCache& cache = cpu_caches_[cpu].value;
     std::vector<Pfn> drained;
+    std::vector<Pfn> drained_huge;
     {
       SpinGuard guard(cache.lock);
       drained.swap(cache.frames);
+      drained_huge.swap(cache.huge_runs);
     }
-    if (!drained.empty()) {
+    if (!drained.empty() || !drained_huge.empty()) {
       SpinGuard guard(lock_);
       for (Pfn pfn : drained) {
         FreeBlockLocked(pfn, 0);
+      }
+      for (Pfn head : drained_huge) {
+        FreeBlockLocked(head, static_cast<int>(kHugeOrder));
       }
     }
   }

@@ -32,6 +32,13 @@ class BuddyAllocator {
   Result<Pfn> AllocZeroedFrame();
   void FreeFrame(Pfn pfn);
 
+  // Order-kHugeOrder (2 MiB) run fast path through a separate per-CPU cache
+  // of whole runs, so huge fault-in does not contend on the global lists any
+  // more than base-page fault-in does. Failure means fragmentation or
+  // exhaustion — the caller's cue to fall back to 4 KiB pages.
+  Result<Pfn> AllocHugeRun();
+  void FreeHugeRun(Pfn head);
+
   uint64_t FreeFrameCount() const { return free_frames_.load(std::memory_order_relaxed); }
   uint64_t TotalFrameCount() const { return total_frames_; }
 
@@ -42,6 +49,7 @@ class BuddyAllocator {
  private:
   static constexpr int kCacheBatch = 32;
   static constexpr int kCacheMax = 64;
+  static constexpr int kHugeCacheMax = 2;  // Runs parked per CPU (4 MiB).
 
   BuddyAllocator();
   BuddyAllocator(const BuddyAllocator&) = delete;
@@ -57,6 +65,7 @@ class BuddyAllocator {
     SpinLock lock;  // A cache is normally only touched by its own CPU; the
                     // lock makes FlushCpuCaches and CPU-id collisions safe.
     std::vector<Pfn> frames;
+    std::vector<Pfn> huge_runs;  // Heads of parked order-kHugeOrder runs.
   };
 
   SpinLock lock_;

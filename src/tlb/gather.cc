@@ -42,14 +42,14 @@ void TlbGather::AddRange(VaRange range) {
   }
 }
 
-void TlbGather::Flush(Asid asid, const CpuMask& mask, TlbPolicy policy, FrameFreer freer) {
+void TlbGather::Flush(Asid asid, const CpuMask& mask, TlbPolicy policy, RunFreer freer) {
   if (empty()) {
     return;
   }
   TlbSystem::Instance().ShootdownBatch(asid, ranges_.begin(), ranges_.size(), full_flush_,
-                                       mask, policy, std::move(frames_), freer);
+                                       mask, policy, std::move(runs_), freer);
   ranges_.clear();
-  frames_.clear();
+  runs_.clear();
   full_flush_ = false;
 }
 

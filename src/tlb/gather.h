@@ -17,6 +17,7 @@
 #ifndef SRC_TLB_GATHER_H_
 #define SRC_TLB_GATHER_H_
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -45,25 +46,41 @@ class TlbGather {
   // ranges the gather switches to full-ASID mode and stops tracking ranges.
   void AddRange(VaRange range);
 
-  // Records a frame whose last mapping died inside a gathered range. The
-  // frame is released (via the freer passed to Flush) only after every
-  // target's invalidation — under LATR, only after the last lazy ack.
-  void AddFrame(Pfn pfn) { frames_.push_back(pfn); }
+  // Records a run whose last mapping died inside a gathered range: one
+  // record per dead LEAF, whatever its order — a 2 MiB unmap contributes one
+  // order-9 record, not 512 order-0 ones. The run is released (via the freer
+  // passed to Flush) only after every target's invalidation — under LATR,
+  // only after the last lazy ack.
+  void AddRun(PageRun run) {
+    assert(run.aligned());
+    runs_.push_back(run);
+  }
+
+  // Order-0 convenience for the base-page paths.
+  void AddFrame(Pfn pfn) { AddRun(PageRun(pfn, 0)); }
 
   // Submits the accumulated batch as one ShootdownBatch and resets the
   // gather. No-op when nothing was gathered (a read-only or rolled-back
   // transaction flushes nothing).
-  void Flush(Asid asid, const CpuMask& mask, TlbPolicy policy, FrameFreer freer);
+  void Flush(Asid asid, const CpuMask& mask, TlbPolicy policy, RunFreer freer);
 
-  bool empty() const { return ranges_.empty() && frames_.empty() && !full_flush_; }
+  bool empty() const { return ranges_.empty() && runs_.empty() && !full_flush_; }
   bool full_flush() const { return full_flush_; }
   size_t range_count() const { return ranges_.size(); }
   const VaRange* ranges() const { return ranges_.begin(); }
-  size_t frame_count() const { return frames_.size(); }
+  size_t run_count() const { return runs_.size(); }
+  // Total frames across the gathered runs (reclaim volume, not record count).
+  uint64_t frame_count() const {
+    uint64_t total = 0;
+    for (const PageRun& run : runs_) {
+      total += run.num_frames();
+    }
+    return total;
+  }
 
  private:
   SmallVec<VaRange, kMaxRanges> ranges_;  // Sorted by start, pairwise disjoint.
-  std::vector<Pfn> frames_;
+  std::vector<PageRun> runs_;
   bool full_flush_ = false;
 };
 

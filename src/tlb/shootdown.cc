@@ -51,10 +51,24 @@ bool TlbSystem::LatrEntry::HasAcked(CpuId cpu) const {
   return acked_mask[cpu / 64].load(std::memory_order_acquire) & (1ull << (cpu % 64));
 }
 
+namespace {
+
+// Weighted frame count of a batch: an order-9 record is one RECORD but 512
+// frames of reclaim, and the telemetry reports reclaim volume.
+uint64_t TotalFrames(const std::vector<PageRun>& runs) {
+  uint64_t total = 0;
+  for (const PageRun& run : runs) {
+    total += run.num_frames();
+  }
+  return total;
+}
+
+}  // namespace
+
 void TlbSystem::FinishEntry(LatrEntry* entry) {
   if (entry->freer != nullptr) {
-    for (Pfn pfn : entry->frames) {
-      entry->freer(pfn);
+    for (const PageRun& run : entry->runs) {
+      entry->freer(run);
     }
   }
   pending_latr_.fetch_sub(1, std::memory_order_relaxed);
@@ -62,19 +76,19 @@ void TlbSystem::FinishEntry(LatrEntry* entry) {
 }
 
 void TlbSystem::Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPolicy policy,
-                          std::vector<Pfn> frames, FrameFreer freer) {
-  ShootdownBatch(asid, &range, 1, /*full_asid=*/false, mask, policy, std::move(frames),
+                          std::vector<PageRun> runs, RunFreer freer) {
+  ShootdownBatch(asid, &range, 1, /*full_asid=*/false, mask, policy, std::move(runs),
                  freer);
 }
 
 void TlbSystem::ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_ranges,
                                bool full_asid, const CpuMask& mask, TlbPolicy policy,
-                               std::vector<Pfn> frames, FrameFreer freer) {
+                               std::vector<PageRun> runs, RunFreer freer) {
   if (num_ranges == 0 && !full_asid) {
-    // Frame-only batch: nothing was ever visible in a TLB, dispose directly.
+    // Run-only batch: nothing was ever visible in a TLB, dispose directly.
     if (freer != nullptr) {
-      for (Pfn pfn : frames) {
-        freer(pfn);
+      for (const PageRun& run : runs) {
+        freer(run);
       }
     }
     return;
@@ -86,10 +100,11 @@ void TlbSystem::ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_rang
   ScopedPhaseTimer telemetry_timer(LockPhase::kShootdownWait);
   CpuId self = CurrentCpu();
   std::vector<CpuId> targets = mask.ToVector();
-  Telemetry::Instance().Trace(TraceKind::kShootdown, frames.size(), targets.size());
+  uint64_t total_frames = TotalFrames(runs);
+  Telemetry::Instance().Trace(TraceKind::kShootdown, total_frames, targets.size());
   Telemetry::Instance().RecordBatch(BatchStat::kShootdownRanges,
                                     full_asid ? 0 : num_ranges);
-  Telemetry::Instance().RecordBatch(BatchStat::kShootdownFrames, frames.size());
+  Telemetry::Instance().RecordBatch(BatchStat::kShootdownFrames, total_frames);
 
   // One pass over a target's TLB covers every range in the batch (or the
   // whole ASID once the gather fell back).
@@ -112,8 +127,8 @@ void TlbSystem::ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_rang
     }
     if (remote.empty()) {
       if (freer != nullptr) {
-        for (Pfn pfn : frames) {
-          freer(pfn);
+        for (const PageRun& run : runs) {
+          freer(run);
         }
       }
       return;
@@ -126,7 +141,7 @@ void TlbSystem::ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_rang
     if (!full_asid) {
       entry->ranges.assign(ranges, ranges + num_ranges);
     }
-    entry->frames = std::move(frames);
+    entry->runs = std::move(runs);
     entry->freer = freer;
     entry->targets = std::move(remote);
     entry->remaining.store(static_cast<uint32_t>(entry->targets.size()),
@@ -162,8 +177,8 @@ void TlbSystem::ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_rang
     invalidate(self);
   }
   if (freer != nullptr) {
-    for (Pfn pfn : frames) {
-      freer(pfn);
+    for (const PageRun& run : runs) {
+      freer(run);
     }
   }
 }

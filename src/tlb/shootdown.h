@@ -54,7 +54,11 @@ class CpuMask {
   std::atomic<uint64_t> words_[kMaxCpus / 64] = {};
 };
 
-using FrameFreer = void (*)(Pfn);
+// Disposes of a dead run once every target has invalidated. Runs, not bare
+// frames: a huge unmap hands the shootdown ONE order-9 record, and the freer
+// decides whether the run dies whole (back to the buddy as a block) or frame
+// by frame (shared frames with surviving references).
+using RunFreer = void (*)(PageRun);
 
 class TlbSystem {
  public:
@@ -63,11 +67,11 @@ class TlbSystem {
   Tlb& CpuTlb(CpuId cpu) { return tlbs_[cpu].value; }
 
   // Invalidates |range| of |asid| on every CPU in |mask| according to
-  // |policy|, then disposes of |frames| via |freer| (possibly deferred).
-  // |frames| may be empty (e.g. mprotect). Thin wrapper over ShootdownBatch
+  // |policy|, then disposes of |runs| via |freer| (possibly deferred).
+  // |runs| may be empty (e.g. mprotect). Thin wrapper over ShootdownBatch
   // with a single range.
   void Shootdown(Asid asid, VaRange range, const CpuMask& mask, TlbPolicy policy,
-                 std::vector<Pfn> frames, FrameFreer freer);
+                 std::vector<PageRun> runs, RunFreer freer);
 
   // Batched shootdown (the TlbGather submission path): invalidates all
   // |num_ranges| ranges of |asid| — or the whole ASID when |full_asid| — on
@@ -75,8 +79,8 @@ class TlbSystem {
   // kLatr, one deferred entry for the whole batch. Counts as a single
   // kTlbShootdowns event however many ranges the batch carries.
   void ShootdownBatch(Asid asid, const VaRange* ranges, size_t num_ranges, bool full_asid,
-                      const CpuMask& mask, TlbPolicy policy, std::vector<Pfn> frames,
-                      FrameFreer freer);
+                      const CpuMask& mask, TlbPolicy policy, std::vector<PageRun> runs,
+                      RunFreer freer);
 
   // The target-side pump: drains lazy shootdown entries addressed to |cpu|.
   // The simulated MMU calls this periodically (timer-tick analog).
@@ -95,8 +99,8 @@ class TlbSystem {
     Asid asid;
     std::vector<VaRange> ranges;  // Empty when full_asid.
     bool full_asid = false;
-    std::vector<Pfn> frames;
-    FrameFreer freer;
+    std::vector<PageRun> runs;  // Dead runs held until the last lazy ack.
+    RunFreer freer;
     std::vector<CpuId> targets;
     std::atomic<uint32_t> remaining{0};
     std::atomic<uint64_t> acked_mask[kMaxCpus / 64] = {};

@@ -49,6 +49,29 @@ void CheckPtPage(AddrSpace& space, Pfn page, int level, WfReport* report) {
         uint64_t frames = PtEntrySpan(level) >> kPageBits;
         if (!mem.ValidPfn(frame) || !mem.ValidPfn(frame + frames - 1)) {
           report->Fail("leaf PTE points outside physical memory");
+        } else if (frames > 1) {
+          // Multi-size invariants: a level-N leaf maps a naturally-aligned
+          // 2^order run of live frames, each individually mapcounted.
+          ++report->huge_leaves;
+          if (!IsAligned(frame, frames)) {
+            report->Fail("huge leaf at level " + std::to_string(level) +
+                         " maps pfn " + std::to_string(frame) +
+                         " which is not aligned to its run size");
+          }
+          for (uint64_t f = 0; f < frames; ++f) {
+            PageDescriptor& fd = mem.Descriptor(frame + f);
+            FrameType type = fd.type.load(std::memory_order_relaxed);
+            if (type == FrameType::kFree || type == FrameType::kCached) {
+              report->Fail("huge leaf maps frame " + std::to_string(frame + f) +
+                           " which is typed free/cached");
+              break;
+            }
+            if (fd.mapcount.load(std::memory_order_relaxed) == 0) {
+              report->Fail("huge leaf maps frame " + std::to_string(frame + f) +
+                           " with zero mapcount");
+              break;
+            }
+          }
         }
       } else {
         // Figure 12: "pte points to a valid page ... child level relation".
@@ -103,11 +126,19 @@ LeakReport CheckFrameLeaks(uint64_t baseline_free_frames) {
   // reaches a free list, so a survivor fell out of that state machine.
   PhysMem& mem = PhysMem::Instance();
   for (Pfn pfn = 0; pfn < mem.num_frames(); ++pfn) {
-    if (mem.Descriptor(pfn).type.load(std::memory_order_relaxed) == FrameType::kCached) {
+    PageDescriptor& desc = mem.Descriptor(pfn);
+    FrameType type = desc.type.load(std::memory_order_relaxed);
+    if (type == FrameType::kCached) {
       ++report.stranded_cached;
+    } else if (type == FrameType::kAnon &&
+               desc.refcount.load(std::memory_order_relaxed) == 0) {
+      // A dead anon frame that never reached the buddy — the signature of a
+      // huge run freed piecemeal with some frames dropped on the floor.
+      ++report.stranded_anon;
     }
   }
-  report.ok = report.leaked == 0 && report.stranded_cached == 0;
+  report.ok = report.leaked == 0 && report.stranded_cached == 0 &&
+              report.stranded_anon == 0;
   return report;
 }
 

@@ -21,6 +21,7 @@ struct WfReport {
   std::string first_error;
   uint64_t pt_pages = 0;
   uint64_t present_leaves = 0;
+  uint64_t huge_leaves = 0;  // Present leaves at level >= 2.
   uint64_t meta_marks = 0;
 
   void Fail(const std::string& error) {
@@ -51,6 +52,11 @@ struct LeakReport {
   // free list (or was handed out without ResetForAlloc) — a typing leak even
   // when the free count balances.
   uint64_t stranded_cached = 0;
+  // Anonymous frames with refcount zero after the drains: dead but never
+  // returned to the buddy. A partially-freed huge run (some frames of an
+  // order-9 block released, the rest forgotten) shows up here even when the
+  // aggregate free count happens to balance.
+  uint64_t stranded_anon = 0;
 };
 
 LeakReport CheckFrameLeaks(uint64_t baseline_free_frames);

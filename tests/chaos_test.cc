@@ -106,6 +106,10 @@ struct ChaosParam {
   // LATR in particular, where a batch's dead frames sit in a deferred entry
   // until the last lazy ack (exactly the window the leak checker watches).
   TlbPolicy tlb_policy = TlbPolicy::kEarlyAck;
+  // Huge axis: the space faults in 2 MiB leaves where it can, so every
+  // schedule also exercises order-9 allocation failure (fallback ladder),
+  // boundary splits under munmap/mprotect, and huge-run reclamation.
+  bool huge = false;
 };
 
 class ChaosTest : public ::testing::TestWithParam<ChaosParam> {
@@ -159,6 +163,31 @@ void ChaosWorker(VmSpace* space, int tid, int iters, std::atomic<uint64_t>* succ
     } else {
       (void)space->Munmap(*va, len);
     }
+    // With the huge policy on, add 2 MiB traffic every few iterations: a
+    // huge-aligned region faulted in as level-2 leaves, partially unmapped
+    // (forcing a split), occasionally forked COW, then torn down.
+    if (space->addr_space().options().huge_pages && rng.Chance(1, 8)) {
+      Result<Vaddr> hva = space->MmapAnon(kHugePageSize, Perm::RW());
+      if (hva.ok()) {
+        successes->fetch_add(1, std::memory_order_relaxed);
+        (void)space->HandleFault(*hva, Access::kWrite);
+        (void)space->HandleFault(*hva + kHugePageSize / 2, Access::kRead);
+        if (rng.Chance(1, 4)) {
+          std::unique_ptr<VmSpace> child = space->Fork();
+          if (child != nullptr) {
+            (void)child->HandleFault(*hva, Access::kWrite);
+          }
+        }
+        if (rng.Chance(1, 2)) {
+          // Partial unmap splits the huge leaf; the rest dies separately.
+          (void)space->Munmap(*hva, kHugePageSize / 4);
+          (void)space->Munmap(*hva + kHugePageSize / 4,
+                              kHugePageSize - kHugePageSize / 4);
+        } else {
+          (void)space->Munmap(*hva, kHugePageSize);
+        }
+      }
+    }
   }
 }
 
@@ -173,6 +202,7 @@ TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
     AddrSpace::Options options;
     options.protocol = GetParam().protocol;
     options.tlb_policy = GetParam().tlb_policy;
+    options.huge_pages = GetParam().huge;
     auto space = std::make_unique<VmSpace>(options);
 
     ArmSchedule(GetParam().schedule);
@@ -229,11 +259,22 @@ INSTANTIATE_TEST_SUITE_P(
                       ChaosParam{Protocol::kRw, ChaosSchedule::kStraggler,
                                  TlbPolicy::kLatr},
                       ChaosParam{Protocol::kAdv, ChaosSchedule::kMixed,
-                                 TlbPolicy::kLatr}),
+                                 TlbPolicy::kLatr},
+                      // Huge axis: order-9 fault-in + fallback + splits under
+                      // each failure family, both protocols.
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kNoMem,
+                                 TlbPolicy::kEarlyAck, /*huge=*/true},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMixed,
+                                 TlbPolicy::kLatr, /*huge=*/true},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kNoMem,
+                                 TlbPolicy::kEarlyAck, /*huge=*/true},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kStraggler,
+                                 TlbPolicy::kSync, /*huge=*/true}),
     [](const ::testing::TestParamInfo<ChaosParam>& info) {
       std::string name = std::string(ProtocolName(info.param.protocol)) + "_" +
                          ScheduleName(info.param.schedule) + "_" +
-                         TlbPolicyName(info.param.tlb_policy);
+                         TlbPolicyName(info.param.tlb_policy) +
+                         (info.param.huge ? "_Huge" : "");
       for (char& c : name) {
         if (c == '-') {
           c = '_';

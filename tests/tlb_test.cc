@@ -123,13 +123,13 @@ TEST_F(ShootdownTest, LatrDefersRemoteFlushAndFrameFree) {
   ASSERT_TRUE(frame.ok());
   static std::atomic<int> freed;
   freed.store(0);
-  FrameFreer freer = [](Pfn pfn) {
+  RunFreer freer = [](PageRun run) {
     freed.fetch_add(1);
-    BuddyAllocator::Instance().FreeFrame(pfn);
+    BuddyAllocator::Instance().FreeFrame(run.pfn);
   };
 
   TlbSystem::Instance().Shootdown(asid, VaRange(va, va + kPageSize), mask_,
-                                  TlbPolicy::kLatr, {*frame}, freer);
+                                  TlbPolicy::kLatr, {PageRun(*frame, 0)}, freer);
   // Local TLB flushed immediately; remote entry still live; frame not freed.
   EXPECT_FALSE(TlbSystem::Instance().CpuTlb(0).Lookup(asid, va).has_value());
   EXPECT_TRUE(TlbSystem::Instance().CpuTlb(5).Lookup(asid, va).has_value());
@@ -155,12 +155,12 @@ TEST_F(ShootdownTest, LatrLocalOnlyFreesImmediately) {
   ASSERT_TRUE(frame.ok());
   static std::atomic<int> freed;
   freed.store(0);
-  FrameFreer freer = [](Pfn pfn) {
+  RunFreer freer = [](PageRun run) {
     freed.fetch_add(1);
-    BuddyAllocator::Instance().FreeFrame(pfn);
+    BuddyAllocator::Instance().FreeFrame(run.pfn);
   };
   TlbSystem::Instance().Shootdown(asid, VaRange(va, va + kPageSize), self_only,
-                                  TlbPolicy::kLatr, {*frame}, freer);
+                                  TlbPolicy::kLatr, {PageRun(*frame, 0)}, freer);
   EXPECT_EQ(freed.load(), 1);  // No remote targets: nothing to defer.
 }
 
@@ -318,9 +318,9 @@ TEST_F(GatherFlushTest, FrameOnlyGatherFreesWithoutShootdown) {
   ASSERT_TRUE(frame.ok());
   static std::atomic<int> freed;
   freed.store(0);
-  FrameFreer freer = [](Pfn pfn) {
+  RunFreer freer = [](PageRun run) {
     freed.fetch_add(1);
-    BuddyAllocator::Instance().FreeFrame(pfn);
+    BuddyAllocator::Instance().FreeFrame(run.pfn);
   };
   TlbGather gather;
   gather.AddFrame(*frame);
@@ -342,9 +342,9 @@ TEST_F(GatherFlushTest, LatrBatchIsOneEntryAndDefersFrames) {
   ASSERT_TRUE(frame.ok());
   static std::atomic<int> freed;
   freed.store(0);
-  FrameFreer freer = [](Pfn pfn) {
+  RunFreer freer = [](PageRun run) {
     freed.fetch_add(1);
-    BuddyAllocator::Instance().FreeFrame(pfn);
+    BuddyAllocator::Instance().FreeFrame(run.pfn);
   };
   TlbGather gather;
   gather.AddRange(VaRange(va_a, va_a + kPageSize));
