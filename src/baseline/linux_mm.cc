@@ -16,18 +16,6 @@ namespace {
 
 std::atomic<uint16_t> g_next_linux_asid{0x4000};  // Disjoint from CortenMM ASIDs.
 
-bool PermAllowsAccess(Perm perm, Access access) {
-  switch (access) {
-    case Access::kRead:
-      return perm.read();
-    case Access::kWrite:
-      return perm.write();
-    case Access::kExec:
-      return perm.exec();
-  }
-  return false;
-}
-
 }  // namespace
 
 LinuxVmaMm::LinuxVmaMm(const Options& options)
@@ -277,17 +265,24 @@ void LinuxVmaMm::UnchargeAndLruDel(uint64_t pages) {
 // mmap / munmap / mprotect: writer side of mmap_lock (Figure 2).
 // ---------------------------------------------------------------------------
 
-Result<Vaddr> LinuxVmaMm::MmapAnon(uint64_t len, Perm perm) {
+Result<Vaddr> LinuxVmaMm::MmapAnon(const MmapArgs& args) {
   ScopedOpTimer telemetry_timer(MmOp::kMmap);
-  if (len == 0) {
+  if (args.len == 0) {
     return ErrCode::kInval;
   }
-  len = AlignUp(len, kPageSize);
+  uint64_t len = AlignUp(args.len, kPageSize);
+  if (args.fixed) {
+    VoidResult r = MmapAnonFixed(args.va, len, args.perm);
+    if (!r.ok()) {
+      return r.error();
+    }
+    return args.va;
+  }
   Result<Vaddr> va = va_alloc_.Alloc(len);
   if (!va.ok()) {
     return va;
   }
-  VoidResult r = MmapAnonAt(*va, len, perm);
+  VoidResult r = MmapAnonFixed(*va, len, args.perm);
   if (!r.ok()) {
     va_alloc_.Free(*va, len);
     return r.error();
@@ -295,8 +290,7 @@ Result<Vaddr> LinuxVmaMm::MmapAnon(uint64_t len, Perm perm) {
   return va;
 }
 
-VoidResult LinuxVmaMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
-  ScopedOpTimer telemetry_timer(MmOp::kMmap);
+VoidResult LinuxVmaMm::MmapAnonFixed(Vaddr va, uint64_t len, Perm perm) {
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }

@@ -59,8 +59,8 @@ class LinuxVmaMm final : public MmInterface {
     }
   }
 
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
-  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  using MmInterface::MmapAnon;
+  Result<Vaddr> MmapAnon(const MmapArgs& args) override;
   VoidResult Munmap(Vaddr va, uint64_t len) override;
   VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
   VoidResult HandleFault(Vaddr va, Access access) override;
@@ -80,6 +80,8 @@ class LinuxVmaMm final : public MmInterface {
   bool CheckVmaTree();
 
  private:
+  // MAP_FIXED placement: replaces whatever overlaps [va, va+len).
+  VoidResult MmapAnonFixed(Vaddr va, uint64_t len, Perm perm);
   // Page-table plumbing (caller holds the locks per Table 1). Returns the PT
   // page holding the slot at |target_level| (default: the level-1 leaf
   // table), or kNoMem when an intermediate PT page cannot be allocated; no

@@ -8,6 +8,7 @@
 #include "src/core/addr_space.h"  // DropRunRef
 #include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
+#include "src/pt/pte.h"
 #include "src/tlb/gather.h"
 
 namespace cortenmm {
@@ -140,25 +141,32 @@ void NrosMm::Append(LogOp op, CpuId cpu) {
   }
 }
 
-Result<Vaddr> NrosMm::MmapAnon(uint64_t len, Perm perm) {
+Result<Vaddr> NrosMm::MmapAnon(const MmapArgs& args) {
   ScopedOpTimer telemetry_timer(MmOp::kMmap);
-  if (len == 0) {
+  if (args.len == 0) {
     return ErrCode::kInval;
   }
-  len = AlignUp(len, kPageSize);
+  uint64_t len = AlignUp(args.len, kPageSize);
+  if (args.fixed) {
+    VoidResult r = MmapAnonFixed(args.va, len, args.perm);
+    if (!r.ok()) {
+      return r.error();
+    }
+    return args.va;
+  }
   Result<Vaddr> va = va_alloc_.Alloc(len);
   if (!va.ok()) {
     return va;
   }
-  VoidResult r = MmapAnonAt(*va, len, perm);
+  VoidResult r = MmapAnonFixed(*va, len, args.perm);
   if (!r.ok()) {
+    va_alloc_.Free(*va, len);
     return r.error();
   }
   return va;
 }
 
-VoidResult NrosMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
-  ScopedOpTimer telemetry_timer(MmOp::kMmap);
+VoidResult NrosMm::MmapAnonFixed(Vaddr va, uint64_t len, Perm perm) {
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -262,9 +270,15 @@ VoidResult NrosMm::HandleFault(Vaddr va, Access access) {
   Replica& replica = replicas_[index];
   if (replica.applied < log_tail_.load(std::memory_order_acquire)) {
     SyncReplica(index);
-    return VoidResult();  // Retry the access against the synced replica.
   }
-  return ErrCode::kFault;
+  // HandleFault contract: the fault resolves (kOk) only if the now-current
+  // replica actually maps the page with sufficient permissions; a never-mapped
+  // VA or a permission violation is a SEGV even when the replica was stale.
+  replica.lock.ReadLock();
+  PageTable::WalkResult walk = replica.pt->Walk(AlignDown(va, kPageSize));
+  bool resolved = walk.present && PermAllowsAccess(PtePerm(replica.pt->arch(), walk.pte), access);
+  replica.lock.ReadUnlock();
+  return resolved ? VoidResult() : VoidResult(ErrCode::kFault);
 }
 
 uint64_t NrosMm::PtBytes() {

@@ -47,8 +47,8 @@ class NrosMm final : public MmInterface {
   bool demand_paging() const override { return false; }
 
   // Eager: allocates and maps all frames at mmap time (logged operation).
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
-  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  using MmInterface::MmapAnon;
+  Result<Vaddr> MmapAnon(const MmapArgs& args) override;
   VoidResult Munmap(Vaddr va, uint64_t len) override;
   VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
   // A fault means the local replica lags the log (or SEGV): sync and retry.
@@ -57,6 +57,9 @@ class NrosMm final : public MmInterface {
   uint64_t PtBytes() override;
 
  private:
+  // Fixed placement: eagerly backs [va, va+len) and appends one log op.
+  VoidResult MmapAnonFixed(Vaddr va, uint64_t len, Perm perm);
+
   enum class OpKind : uint8_t { kMap, kUnmap, kProtect };
   struct LogOp {
     OpKind kind;

@@ -207,25 +207,32 @@ void RadixVmMm::RemoveFromReplica(int replica_index, Vaddr va) {
   }
 }
 
-Result<Vaddr> RadixVmMm::MmapAnon(uint64_t len, Perm perm) {
+Result<Vaddr> RadixVmMm::MmapAnon(const MmapArgs& args) {
   ScopedOpTimer telemetry_timer(MmOp::kMmap);
-  if (len == 0) {
+  if (args.len == 0) {
     return ErrCode::kInval;
   }
-  len = AlignUp(len, kPageSize);
+  uint64_t len = AlignUp(args.len, kPageSize);
+  if (args.fixed) {
+    VoidResult r = MmapAnonFixed(args.va, len, args.perm);
+    if (!r.ok()) {
+      return r.error();
+    }
+    return args.va;
+  }
   Result<Vaddr> va = va_alloc_.Alloc(len);
   if (!va.ok()) {
     return va;
   }
-  VoidResult r = MmapAnonAt(*va, len, perm);
+  VoidResult r = MmapAnonFixed(*va, len, args.perm);
   if (!r.ok()) {
+    va_alloc_.Free(*va, len);
     return r.error();
   }
   return va;
 }
 
-VoidResult RadixVmMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
-  ScopedOpTimer telemetry_timer(MmOp::kMmap);
+VoidResult RadixVmMm::MmapAnonFixed(Vaddr va, uint64_t len, Perm perm) {
   if (!IsAligned(va, kPageSize) || len == 0) {
     return ErrCode::kInval;
   }
@@ -317,9 +324,7 @@ VoidResult RadixVmMm::HandleFault(Vaddr va, Access access) {
     case PageInfo::State::kUnmapped:
       return ErrCode::kFault;
     case PageInfo::State::kVirtual: {
-      bool want_write = access == Access::kWrite;
-      if ((want_write && !info->perm.write()) ||
-          (access == Access::kRead && !info->perm.read())) {
+      if (!PermAllowsAccess(info->perm, access)) {
         return ErrCode::kFault;
       }
       Result<Pfn> frame = BuddyAllocator::Instance().AllocZeroedFrame();
@@ -335,10 +340,7 @@ VoidResult RadixVmMm::HandleFault(Vaddr va, Access access) {
       return VoidResult();
     }
     case PageInfo::State::kMapped: {
-      bool allowed = access == Access::kWrite    ? info->perm.write()
-                     : access == Access::kExec   ? info->perm.exec()
-                                                 : info->perm.read();
-      if (!allowed) {
+      if (!PermAllowsAccess(info->perm, access)) {
         return ErrCode::kFault;
       }
       // Mapped globally but missing in this core's replica: fill it locally.

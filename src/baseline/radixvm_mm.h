@@ -40,8 +40,8 @@ class RadixVmMm final : public MmInterface {
     }
   }
 
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
-  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  using MmInterface::MmapAnon;
+  Result<Vaddr> MmapAnon(const MmapArgs& args) override;
   VoidResult Munmap(Vaddr va, uint64_t len) override;
   VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
   VoidResult HandleFault(Vaddr va, Access access) override;
@@ -51,6 +51,9 @@ class RadixVmMm final : public MmInterface {
   uint64_t MetaBytes() override;
 
  private:
+  // Fixed placement: marks [va, va+len) virtually allocated.
+  VoidResult MmapAnonFixed(Vaddr va, uint64_t len, Perm perm);
+
   // Per-virtual-page metadata held in the radix tree.
   struct PageInfo {
     enum class State : uint8_t { kUnmapped = 0, kVirtual, kMapped };

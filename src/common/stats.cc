@@ -64,6 +64,20 @@ const char* CounterName(Counter c) {
       return "huge_cache_hits";
     case Counter::kHugeAllocFailures:
       return "huge_alloc_failures";
+    case Counter::kRingOpsSubmitted:
+      return "ring_ops_submitted";
+    case Counter::kRingOpsCompleted:
+      return "ring_ops_completed";
+    case Counter::kRingDrains:
+      return "ring_drains";
+    case Counter::kRingFusedGroupOps:
+      return "ring_fused_group_ops";
+    case Counter::kRingFullRejects:
+      return "ring_full_rejects";
+    case Counter::kFusedTxns:
+      return "fused_txns";
+    case Counter::kFusedTxnOps:
+      return "fused_txn_ops";
     case Counter::kCount:
       break;
   }

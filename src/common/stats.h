@@ -45,6 +45,13 @@ enum class Counter : int {
   kHugeCacheHits,      // AllocHugeRun served from the per-CPU huge cache.
   kHugeAllocFailures,  // Order-9 requests the buddy could not satisfy
                        // (fragmentation or exhaustion) — the fallback trigger.
+  kRingOpsSubmitted,   // MmSqes accepted into a submission ring.
+  kRingOpsCompleted,   // MmCqes posted by a drain pass.
+  kRingDrains,         // Flat-combining drain passes executed.
+  kRingFusedGroupOps,  // Ops the drain handed to the backend in groups >= 2.
+  kRingFullRejects,    // Submits rejected at the per-CPU outstanding limit.
+  kFusedTxns,          // Multi-op batches Corten ran as ONE RCursor txn.
+  kFusedTxnOps,        // Ops executed inside those fused transactions.
   kCount,
 };
 

@@ -133,6 +133,21 @@ struct Perm {
   static constexpr Perm RWX() { return Perm(kRead | kWrite | kExec | kUser); }
 };
 
+// The one permission-vs-access predicate every fault handler must use, so the
+// facade-wide HandleFault contract (kOk iff the mapping allows |access|,
+// kFault otherwise) has a single definition to diverge from.
+constexpr bool PermAllowsAccess(Perm perm, Access access) {
+  switch (access) {
+    case Access::kRead:
+      return perm.read();
+    case Access::kWrite:
+      return perm.write();
+    case Access::kExec:
+      return perm.exec();
+  }
+  return false;
+}
+
 }  // namespace cortenmm
 
 #endif  // SRC_COMMON_TYPES_H_

@@ -392,8 +392,6 @@ bool VmSpace::TryHugeFaultIn(RCursor& cursor, VaRange huge_range, const Status& 
 
 VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   ScopedOpTimer telemetry_timer(MmOp::kFault);
-  CountEvent(Counter::kPageFaults);
-  space_.NoteCpuActive(CurrentCpu());
   Vaddr page_va = AlignDown(va, kPageSize);
   // Under the huge-page policy the transaction covers the surrounding 2 MiB
   // slot, so an eligible anon fault can install a level-2 leaf — and a write
@@ -402,6 +400,12 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   Vaddr lock_base = huge ? AlignDown(page_va, kHugePageSize) : page_va;
   VaRange fault_range(lock_base, lock_base + (huge ? kHugePageSize : kPageSize));
   RCursor cursor = space_.Lock(fault_range);
+  return HandleFaultLocked(cursor, page_va, access);
+}
+
+VoidResult VmSpace::HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access access) {
+  CountEvent(Counter::kPageFaults);
+  space_.NoteCpuActive(CurrentCpu());
   Status status = cursor.Query(page_va);
 
   if (status.mapped()) {
@@ -459,11 +463,122 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   if (status.invalid()) {
     return ErrCode::kFault;  // SEGV.
   }
-  if (huge && status.tag == StatusTag::kPrivateAnon &&
-      TryHugeFaultIn(cursor, fault_range, status, access)) {
-    return VoidResult();
+  if (space_.options().huge_pages && status.tag == StatusTag::kPrivateAnon) {
+    Vaddr huge_base = AlignDown(page_va, kHugePageSize);
+    VaRange huge_range(huge_base, huge_base + kHugePageSize);
+    // A fused batch may have locked less than the 2 MiB slot; the huge rung
+    // needs the whole slot under this cursor's covering lock.
+    if (cursor.range().Contains(huge_range) &&
+        TryHugeFaultIn(cursor, huge_range, status, access)) {
+      return VoidResult();
+    }
   }
   return FaultInPage(cursor, page_va, status, access);
+}
+
+// ---------------------------------------------------------------------------
+// Fused batch execution (ROADMAP item 4)
+// ---------------------------------------------------------------------------
+
+bool VmSpace::TryExecuteFused(const MmSqe* sqes, MmCqe* cqes, size_t n) {
+  if (n == 0) {
+    return true;
+  }
+  // Bounding lock range over every op. Any op without an explicit fusable
+  // range makes the whole batch ineligible (the caller dispatches per-op).
+  bool huge = space_.options().huge_pages;
+  Vaddr lo = kVaLimit;
+  Vaddr hi = 0;
+  for (size_t i = 0; i < n; ++i) {
+    VaRange r;
+    if (!SqeRange(sqes[i], &r)) {
+      return false;
+    }
+    if (huge && sqes[i].op == MmOpCode::kFault) {
+      // Cover the surrounding 2 MiB slot so the huge fault-in rung stays
+      // reachable inside the fused transaction.
+      r = VaRange(AlignDown(r.start, kHugePageSize),
+                  AlignDown(r.start, kHugePageSize) + kHugePageSize);
+    }
+    lo = r.start < lo ? r.start : lo;
+    hi = r.end > hi ? r.end : hi;
+  }
+  CountEvent(Counter::kFusedTxns);
+  CountEvent(Counter::kFusedTxnOps, n);
+  Telemetry::Instance().RecordBatch(BatchStat::kRingOpsPerFusedTxn, n);
+
+  // Munmapped VA blocks go back to the allocator only after the transaction
+  // commits (cursor unwound, TLB flushed) — the sync path's ordering.
+  std::vector<VaRange> deferred_frees;
+  {
+    RCursor cursor = space_.Lock(VaRange(lo, hi));
+    for (size_t i = 0; i < n; ++i) {
+      const MmSqe& sqe = sqes[i];
+      MmCqe& cqe = cqes[i];
+      cqe.err = ErrCode::kOk;
+      cqe.va = 0;
+      cqe.count = 0;
+      VaRange range(sqe.va, sqe.va + AlignUp(sqe.len, kPageSize));
+      switch (sqe.op) {
+        case MmOpCode::kMmapAnonFixed: {
+          // MAP_FIXED replacement, same reserve-then-replace discipline as
+          // MmapAnonAt: after Prepare, the Mark cannot fail.
+          VoidResult reserved = cursor.Prepare(range, /*for_marks=*/true);
+          if (!reserved.ok()) {
+            cqe.err = reserved.error();
+            break;
+          }
+          DropSwapRefs(cursor, range);
+          VoidResult r = cursor.Mark(range, Status::PrivateAnon(sqe.perm));
+          if (r.ok()) {
+            cqe.va = sqe.va;
+          } else {
+            cqe.err = r.error();
+          }
+          break;
+        }
+        case MmOpCode::kMunmap: {
+          VoidResult reserved = cursor.Prepare(range, /*for_marks=*/false);
+          if (!reserved.ok()) {
+            cqe.err = reserved.error();
+            break;
+          }
+          DropSwapRefs(cursor, range);
+          VoidResult r = cursor.Unmap(range);
+          if (r.ok()) {
+            deferred_frees.push_back(range);
+          } else {
+            cqe.err = r.error();
+          }
+          break;
+        }
+        case MmOpCode::kMprotect: {
+          VoidResult r = cursor.Protect(range, sqe.perm);
+          if (!r.ok()) {
+            cqe.err = r.error();
+          }
+          break;
+        }
+        case MmOpCode::kFault: {
+          ScopedOpTimer telemetry_timer(MmOp::kFault);
+          VoidResult r =
+              HandleFaultLocked(cursor, AlignDown(sqe.va, kPageSize), sqe.access);
+          if (!r.ok()) {
+            cqe.err = r.error();
+          }
+          break;
+        }
+        default:
+          // Unreachable: SqeRange above admits only the four fusable opcodes.
+          cqe.err = ErrCode::kInval;
+          break;
+      }
+    }
+  }  // Cursor destructor: ONE TlbGather flush covering the whole batch.
+  for (const VaRange& range : deferred_frees) {
+    space_.FreeVa(range.start, range.size());
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

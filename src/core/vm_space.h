@@ -9,6 +9,7 @@
 
 #include "src/core/addr_space.h"
 #include "src/core/backing.h"
+#include "src/ring/mm_op.h"
 
 namespace cortenmm {
 
@@ -60,6 +61,16 @@ class VmSpace {
   // The page-fault handler (Figure 8). Returns kFault for SEGV.
   VoidResult HandleFault(Vaddr va, Access access);
 
+  // --- Fused batch execution (ROADMAP item 4) --------------------------------
+
+  // Executes |n| ring ops as ONE transaction: one covering lock over the
+  // batch's bounding range, all mutations inside it, one TlbGather flush when
+  // the cursor unwinds. Ops run in array order, so a batch is observably
+  // equivalent to the synchronous call sequence. Returns false — touching
+  // nothing — when any op has no explicit fusable range; the caller then
+  // falls back to per-op synchronous dispatch.
+  bool TryExecuteFused(const MmSqe* sqes, MmCqe* cqes, size_t n);
+
   // --- Advanced semantics ------------------------------------------------------
 
   // Evicts resident exclusive anonymous pages in [va, va+len) to the swap
@@ -77,6 +88,10 @@ class VmSpace {
   uint64_t ResidentPages();
 
  private:
+  // Fault resolution inside an existing transaction (|cursor| must cover the
+  // faulting page). The huge-page rung only fires when the cursor also covers
+  // the surrounding 2 MiB slot.
+  VoidResult HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access access);
   VoidResult FaultInPage(RCursor& cursor, Vaddr page_va, const Status& status,
                          Access access);
   // Huge-page policy (options().huge_pages): tries to resolve an anon fault by

@@ -69,6 +69,12 @@ const char* BatchStatName(BatchStat stat) {
       return "shootdown_ranges";
     case BatchStat::kShootdownFrames:
       return "shootdown_frames";
+    case BatchStat::kRingSqDepth:
+      return "ring_sq_depth";
+    case BatchStat::kRingOpsPerDrain:
+      return "ring_ops_per_drain";
+    case BatchStat::kRingOpsPerFusedTxn:
+      return "ring_ops_per_fused_txn";
     case BatchStat::kCount:
       break;
   }

@@ -36,7 +36,7 @@ namespace cortenmm {
 
 // MM entry points, one histogram each (the facade's operation set).
 enum class MmOp : int {
-  kMmap = 0,      // MmapAnon / MmapAnonAt
+  kMmap = 0,      // MmapAnon (auto and fixed placement)
   kMunmap,
   kMprotect,
   kFault,         // HandleFault
@@ -66,6 +66,9 @@ enum class LockPhase : int {
 enum class BatchStat : int {
   kShootdownRanges = 0,  // Discrete ranges per ShootdownBatch (0 = full-ASID).
   kShootdownFrames,      // Dead frames per ShootdownBatch.
+  kRingSqDepth,          // Per-CPU submission-ring occupancy at drain collect.
+  kRingOpsPerDrain,      // Ops one flat-combining drain pass collected.
+  kRingOpsPerFusedTxn,   // Ops fused into one RCursor transaction.
   kCount,
 };
 
@@ -259,7 +262,7 @@ class Telemetry {
 class ScopedOpTimer {
  public:
   // Only the outermost timer on a thread records: MM entry points delegate to
-  // one another (MmapAnon -> MmapAnonAt, Fork -> mmap paths), and each call
+  // one another (MmapAnon -> fixed-placement helpers, Fork -> mmap paths), and each call
   // through the facade must count as one sample, not one per layer.
   explicit ScopedOpTimer(MmOp op) : op_(op), outermost_(depth_++ == 0) {
     if (outermost_) {

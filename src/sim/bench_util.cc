@@ -190,14 +190,14 @@ class ScopedNanos {
 
 }  // namespace
 
-Result<Vaddr> TimingMm::MmapAnon(uint64_t len, Perm perm) {
+Result<Vaddr> TimingMm::MmapAnon(const MmapArgs& args) {
   ScopedNanos timer(&nanos_[CurrentCpu()].value);
-  return inner_->MmapAnon(len, perm);
+  return inner_->MmapAnon(args);
 }
 
-VoidResult TimingMm::MmapAnonAt(Vaddr va, uint64_t len, Perm perm) {
+void TimingMm::ExecuteBatch(const MmSqe* sqes, MmCqe* cqes, size_t n) {
   ScopedNanos timer(&nanos_[CurrentCpu()].value);
-  return inner_->MmapAnonAt(va, len, perm);
+  inner_->ExecuteBatch(sqes, cqes, n);
 }
 
 VoidResult TimingMm::Munmap(Vaddr va, uint64_t len) {

@@ -79,8 +79,8 @@ class TimingMm final : public MmInterface {
 
   uint32_t Pkru() const override { return inner_->Pkru(); }
 
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override;
-  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override;
+  using MmInterface::MmapAnon;
+  Result<Vaddr> MmapAnon(const MmapArgs& args) override;
   VoidResult Munmap(Vaddr va, uint64_t len) override;
   VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override;
   VoidResult HandleFault(Vaddr va, Access access) override;
@@ -93,6 +93,9 @@ class TimingMm final : public MmInterface {
   Result<uint64_t> SwapOut(Vaddr va, uint64_t len) override;
   // Note: the forked child is the inner manager's child, untimed.
   std::unique_ptr<MmInterface> Fork() override { return inner_->Fork(); }
+  // Ring batches execute through the inner manager's fused path (if any);
+  // the wrapper times the batch as one kernel entry.
+  void ExecuteBatch(const MmSqe* sqes, MmCqe* cqes, size_t n) override;
 
   // Total nanoseconds spent in MM entry points, across all threads.
   uint64_t KernelNanos() const;

@@ -28,11 +28,16 @@ class CortenVm final : public MmInterface {
   PageTable& PageTableFor(CpuId) override { return vm_->addr_space().page_table(); }
   void NoteCpuActive(CpuId cpu) override { vm_->addr_space().NoteCpuActive(cpu); }
 
-  Result<Vaddr> MmapAnon(uint64_t len, Perm perm) override {
-    return vm_->MmapAnon(len, perm);
-  }
-  VoidResult MmapAnonAt(Vaddr va, uint64_t len, Perm perm) override {
-    return vm_->MmapAnonAt(va, len, perm);
+  using MmInterface::MmapAnon;
+  Result<Vaddr> MmapAnon(const MmapArgs& args) override {
+    if (!args.fixed) {
+      return vm_->MmapAnon(args.len, args.perm);
+    }
+    VoidResult r = vm_->MmapAnonAt(args.va, args.len, args.perm);
+    if (!r.ok()) {
+      return r.error();
+    }
+    return args.va;
   }
   VoidResult Munmap(Vaddr va, uint64_t len) override { return vm_->Munmap(va, len); }
   VoidResult Mprotect(Vaddr va, uint64_t len, Perm perm) override {
@@ -40,6 +45,16 @@ class CortenVm final : public MmInterface {
   }
   VoidResult HandleFault(Vaddr va, Access access) override {
     return vm_->HandleFault(va, access);
+  }
+
+  // Native fused path for ring batches: one RCursor transaction + one
+  // TlbGather flush per group. Falls back to the facade's per-op dispatch for
+  // groups the core cannot fuse (the drain also hands singletons here).
+  void ExecuteBatch(const MmSqe* sqes, MmCqe* cqes, size_t n) override {
+    if (n >= 2 && vm_->TryExecuteFused(sqes, cqes, n)) {
+      return;
+    }
+    MmInterface::ExecuteBatch(sqes, cqes, n);
   }
 
   Result<Vaddr> MmapFilePrivate(SimFile* file, uint32_t first_page, uint64_t len,

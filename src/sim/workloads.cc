@@ -96,7 +96,7 @@ double RunMicro(Micro micro, MmKind kind, int threads, Contention contention, Ar
           va = *r;
         } else {
           va = chunk_va(t, op);
-          VoidResult r = m.MmapAnonAt(va, kRegionBytes, Perm::RW());
+          Result<Vaddr> r = m.MmapAnon(MmapArgs::At(va, kRegionBytes, Perm::RW()));
           assert(r.ok());
           (void)r;
         }
@@ -125,7 +125,7 @@ double RunMicro(Micro micro, MmKind kind, int threads, Contention contention, Ar
             va = *r;
           } else {
             va = chunk_va(t, op);
-            m.MmapAnonAt(va, kRegionBytes, Perm::RW());
+            m.MmapAnon(MmapArgs::At(va, kRegionBytes, Perm::RW()));
           }
           states[t].regions.push_back(va);
           if (touch || !m.demand_paging()) {
@@ -149,7 +149,7 @@ double RunMicro(Micro micro, MmKind kind, int threads, Contention contention, Ar
             va = *r;
           } else {
             va = chunk_va(t, op);
-            m.MmapAnonAt(va, kRegionBytes, Perm::RW());
+            m.MmapAnon(MmapArgs::At(va, kRegionBytes, Perm::RW()));
           }
           states[t].regions.push_back(va);
         }

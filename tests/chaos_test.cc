@@ -17,6 +17,7 @@
 #include "src/core/vm_space.h"
 #include "src/fault/fault_inject.h"
 #include "src/pmm/buddy.h"
+#include "src/sim/corten_vm.h"
 #include "src/sync/rcu.h"
 #include "src/tlb/shootdown.h"
 #include "src/verif/wf_checker.h"
@@ -237,6 +238,123 @@ TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
   EXPECT_TRUE(leaks.ok) << "leaked " << leaks.leaked << " frames (baseline "
                         << leaks.baseline_free << ", now " << leaks.current_free << ")";
 }
+
+// Ring chaos: batches drain through the flat combiner while the injector
+// forces allocator exhaustion and lock stalls mid-drain. The contract under
+// fire: every submitted op reaps exactly one completion, in per-CPU
+// submission order, with a definite Status (kOk or a real error — never a
+// lost completion); and when the facade dies, no frame leaks.
+class RingChaosTest : public ::testing::TestWithParam<Protocol> {
+ protected:
+  void TearDown() override {
+    FaultInjector::Instance().DisableAll();
+    FaultInjector::Instance().ResetCounters();
+  }
+};
+
+TEST_P(RingChaosTest, EveryRingOpGetsADefiniteStatusUnderInjection) {
+  TlbSystem::Instance().DrainAll();
+  Rcu::Instance().DrainAll();
+  BuddyAllocator::Instance().FlushCpuCaches();
+  uint64_t baseline_free = BuddyAllocator::Instance().FreeFrameCount();
+
+  {
+    AddrSpace::Options options;
+    options.protocol = GetParam();
+    CortenVm mm(options);
+
+    ArmSchedule(ChaosSchedule::kMixed);
+    int threads = ChaosThreads();
+    constexpr int kRounds = 60;
+    std::atomic<uint64_t> completed_ok{0};
+    std::atomic<bool> contract_broken{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        BindThisThreadToCpu(t);
+        FaultInjector::SeedThread(0x5eedull ^ static_cast<uint64_t>(t));
+        Rng rng(0xc4a05ull + static_cast<uint64_t>(t));
+        const Vaddr base = (200ull + static_cast<uint64_t>(t)) << 30;
+        for (int round = 0; round < kRounds; ++round) {
+          uint64_t cookie = 0;
+          auto submit = [&](MmSqe sqe) {
+            sqe.user_data = cookie;
+            if (mm.Submit(sqe)) {
+              ++cookie;
+            }
+          };
+          uint64_t regions = rng.Range(2, 7);
+          for (uint64_t i = 0; i < regions; ++i) {
+            Vaddr va = base + i * 8 * kPageSize;
+            MmSqe map;
+            map.op = MmOpCode::kMmapAnonFixed;
+            map.va = va;
+            map.len = 4 * kPageSize;
+            map.perm = Perm::RW();
+            submit(map);
+            MmSqe fault;
+            fault.op = MmOpCode::kFault;
+            fault.va = va + (rng.Below(4) << kPageBits);
+            fault.access = Access::kWrite;
+            submit(fault);
+            if (rng.Chance(1, 3)) {
+              MmSqe prot;
+              prot.op = MmOpCode::kMprotect;
+              prot.va = va;
+              prot.len = 4 * kPageSize;
+              prot.perm = Perm::R();
+              submit(prot);
+            }
+            MmSqe unmap;
+            unmap.op = MmOpCode::kMunmap;
+            unmap.va = va;
+            unmap.len = 4 * kPageSize;
+            submit(unmap);
+          }
+          mm.DrainBarrier();
+          // Every accepted op must complete — in order, exactly once.
+          MmCqe cqe;
+          for (uint64_t expect = 0; expect < cookie; ++expect) {
+            if (!mm.Reap(&cqe) || cqe.user_data != expect) {
+              contract_broken.store(true);
+              return;
+            }
+            if (cqe.err == ErrCode::kOk) {
+              completed_ok.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          if (mm.Reap(&cqe)) {  // No phantom completions either.
+            contract_broken.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+    FaultInjector::Instance().DisableAll();
+
+    EXPECT_FALSE(contract_broken.load());
+    EXPECT_GT(completed_ok.load(), 0u);
+    EXPECT_GT(FaultInjector::Instance().TotalInjected(), 0u)
+        << FaultInjector::Instance().DumpJson();
+
+    WfReport report = CheckWellFormed(mm.vm().addr_space());
+    EXPECT_TRUE(report.ok) << report.first_error;
+  }
+
+  LeakReport leaks = CheckFrameLeaks(baseline_free);
+  EXPECT_TRUE(leaks.ok) << "leaked " << leaks.leaked << " frames (baseline "
+                        << leaks.baseline_free << ", now " << leaks.current_free << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, RingChaosTest,
+                         ::testing::Values(Protocol::kAdv, Protocol::kRw),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           return info.param == Protocol::kAdv ? "cortenmm_adv"
+                                                               : "cortenmm_rw";
+                         });
 
 INSTANTIATE_TEST_SUITE_P(
     Protocols, ChaosTest,

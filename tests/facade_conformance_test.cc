@@ -116,6 +116,61 @@ TEST_P(FacadeConformanceTest, ForkSupportedOrNull) {
   EXPECT_TRUE(mm->Munmap(*va, kLen).ok());
 }
 
+TEST_P(FacadeConformanceTest, FixedPlacementMapsAtTheRequestedAddress) {
+  std::unique_ptr<MmInterface> mm = MakeMm(GetParam());
+  constexpr Vaddr kFixedVa = 80ull << 30;
+
+  Result<Vaddr> va = mm->MmapAnon(MmapArgs::At(kFixedVa, kLen, Perm::RW()));
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(*va, kFixedVa);
+  EXPECT_TRUE(mm->HandleFault(kFixedVa, Access::kWrite).ok());
+
+  // MAP_FIXED replacement: mapping over the live region succeeds and the
+  // result is a fresh mapping at the same address.
+  Result<Vaddr> again = mm->MmapAnon(MmapArgs::At(kFixedVa, kLen, Perm::RW()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, kFixedVa);
+  EXPECT_TRUE(mm->HandleFault(kFixedVa, Access::kWrite).ok());
+  EXPECT_TRUE(mm->Munmap(kFixedVa, kLen).ok());
+}
+
+// The HandleFault error-code contract (pinned in mm_interface.h): kOk when
+// the VA lies in a mapping whose permissions allow the access, kFault both
+// for VAs outside any mapping and for permission violations — never a third
+// code, and identically across all four managers.
+TEST_P(FacadeConformanceTest, FaultErrCodeContract) {
+  std::unique_ptr<MmInterface> mm = MakeMm(GetParam());
+  Result<Vaddr> va = mm->MmapAnon(kLen, Perm::RW());
+  ASSERT_TRUE(va.ok());
+
+  // Resolvable faults on an RW mapping: kOk for read and write.
+  EXPECT_TRUE(mm->HandleFault(*va, Access::kWrite).ok());
+  EXPECT_TRUE(mm->HandleFault(*va + kPageSize, Access::kRead).ok());
+  // Exec on a mapping without exec permission: kFault, even though present.
+  VoidResult exec = mm->HandleFault(*va, Access::kExec);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_EQ(exec.error(), ErrCode::kFault);
+
+  // After dropping to read-only: reads stay kOk, writes become kFault.
+  ASSERT_TRUE(mm->Mprotect(*va, kLen, Perm::R()).ok());
+  EXPECT_TRUE(mm->HandleFault(*va, Access::kRead).ok());
+  VoidResult write = mm->HandleFault(*va, Access::kWrite);
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.error(), ErrCode::kFault);
+
+  // A VA no mapping has ever covered.
+  constexpr Vaddr kNowhere = 300ull << 30;
+  VoidResult unmapped = mm->HandleFault(kNowhere, Access::kRead);
+  ASSERT_FALSE(unmapped.ok());
+  EXPECT_EQ(unmapped.error(), ErrCode::kFault);
+
+  // After munmap the region is outside-any-mapping again.
+  ASSERT_TRUE(mm->Munmap(*va, kLen).ok());
+  VoidResult stale = mm->HandleFault(*va, Access::kRead);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error(), ErrCode::kFault);
+}
+
 #if CORTENMM_FAULTINJ
 
 // Disarms the injector even when an EXPECT fails mid-test.

@@ -185,7 +185,7 @@ TEST(TelemetryTest, ScopedTimersRecordOncePerOutermostEntry) {
   t.Reset();
   {
     ScopedOpTimer outer(MmOp::kMmap);
-    // Nested facade delegation (MmapAnon -> MmapAnonAt) must not
+    // Nested facade delegation (MmapAnon -> fixed-placement helper) must not
     // double-count the entry.
     ScopedOpTimer inner(MmOp::kMmap);
   }

@@ -68,7 +68,7 @@ TEST_P(MmFuzzTest, RandomOpsMatchOracle) {
     Vaddr va = page_at(start);
     switch (rng.Below(6)) {
       case 0: {  // mmap (fixed, replaces)
-        ASSERT_TRUE(mm.MmapAnonAt(va, len * kPageSize, Perm::RW()).ok());
+        ASSERT_TRUE(mm.MmapAnon(MmapArgs::At(va, len * kPageSize, Perm::RW())).ok());
         for (uint64_t p = 0; p < len; ++p) {
           oracle[va + p * kPageSize] = PageState{};
         }
