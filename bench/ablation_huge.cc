@@ -152,6 +152,7 @@ int main(int argc, char** argv) {
                 on.tlb_miss_rate * 100.0, off.tlb_miss_rate * 100.0);
   }
 
+  PrintTraceDropRate();
   std::string json_path = sink.Write();
   std::printf("\ntelemetry: %s\n", json_path.c_str());
   return gate_ok ? 0 : 1;

@@ -199,6 +199,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  PrintTraceDropRate();
   std::string json_path = sink.Write();
   std::printf("\ntelemetry: %s\n", json_path.c_str());
   return gate_ok ? 0 : 1;

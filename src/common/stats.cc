@@ -78,6 +78,26 @@ const char* CounterName(Counter c) {
       return "fused_txns";
     case Counter::kFusedTxnOps:
       return "fused_txn_ops";
+    case Counter::kFusedVaFlushes:
+      return "fused_va_flushes";
+    case Counter::kReclaimPagesEvicted:
+      return "reclaim_pages_evicted";
+    case Counter::kReclaimWakeups:
+      return "reclaim_wakeups";
+    case Counter::kReclaimScannedFrames:
+      return "reclaim_scanned_frames";
+    case Counter::kReclaimDirectRuns:
+      return "reclaim_direct_runs";
+    case Counter::kReclaimThrottles:
+      return "reclaim_throttles";
+    case Counter::kReclaimStalls:
+      return "reclaim_stalls";
+    case Counter::kReclaimLimitHits:
+      return "reclaim_limit_hits";
+    case Counter::kReclaimHugeSuppressed:
+      return "reclaim_huge_suppressed";
+    case Counter::kRingLimitRejects:
+      return "ring_limit_rejects";
     case Counter::kCount:
       break;
   }

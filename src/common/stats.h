@@ -52,6 +52,16 @@ enum class Counter : int {
   kRingFullRejects,    // Submits rejected at the per-CPU outstanding limit.
   kFusedTxns,          // Multi-op batches Corten ran as ONE RCursor txn.
   kFusedTxnOps,        // Ops executed inside those fused transactions.
+  kFusedVaFlushes,     // Deferred-FreeVa lists flushed mid-batch at the bound.
+  kReclaimPagesEvicted,   // Anonymous pages swapped out by reclaim.
+  kReclaimWakeups,        // kswapd wakeups (low-watermark pressure hook).
+  kReclaimScannedFrames,  // Frame descriptors examined by the clock hand.
+  kReclaimDirectRuns,     // Direct-reclaim passes run from a fault path.
+  kReclaimThrottles,      // Fault-path throttle sleeps below the min watermark.
+  kReclaimStalls,         // Reclaim passes that could not evict anything.
+  kReclaimLimitHits,      // Faults that found their tenant over its RSS limit.
+  kReclaimHugeSuppressed, // 2 MiB fault-ins demoted to 4 KiB by pressure.
+  kRingLimitRejects,      // Ring submits bounced while the tenant is over limit.
   kCount,
 };
 

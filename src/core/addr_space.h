@@ -298,6 +298,16 @@ class AddrSpace {
     meta_bytes_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
   }
 
+  // Exact resident-set size, maintained by the cursor on every leaf install/
+  // clear. O(1), readable without the space's locks — this is what reclaim's
+  // per-tenant limit enforcement polls on every fault.
+  uint64_t ResidentPagesFast() const {
+    return resident_pages_.load(std::memory_order_relaxed);
+  }
+  void AddResidentPages(int64_t delta) {
+    resident_pages_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
+  }
+
  private:
   friend class RCursor;
 
@@ -308,6 +318,7 @@ class AddrSpace {
   CpuMask active_cpus_;
   std::atomic<uint32_t> pkru_{0};
   std::atomic<uint64_t> meta_bytes_{0};
+  std::atomic<uint64_t> resident_pages_{0};
 };
 
 // Drops one reference on a data frame, returning it to the buddy allocator

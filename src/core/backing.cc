@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/stats.h"
+#include "src/fault/fault_inject.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/page_desc.h"
 #include "src/pmm/phys_mem.h"
@@ -177,6 +178,11 @@ SwapDevice& SwapDevice::Instance() {
 }
 
 Result<uint32_t> SwapDevice::WriteNewBlock(const std::byte* src) {
+  // Injected device-full / write error: the eviction in flight must roll the
+  // page back to resident without leaking the frame or a swap block.
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kSwapDevWrite)) {
+    return ErrCode::kNoSpace;
+  }
   SpinGuard guard(lock_);
   uint32_t block;
   if (!free_blocks_.empty()) {
@@ -197,6 +203,11 @@ Result<uint32_t> SwapDevice::WriteNewBlock(const std::byte* src) {
 }
 
 VoidResult SwapDevice::ReadBlock(uint32_t block, std::byte* dst) {
+  // Injected transient IO error on swap-in: the fault path surfaces a definite
+  // status and leaves the swap entry intact so a retry can succeed.
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kSwapDevRead)) {
+    return ErrCode::kAgain;
+  }
   SpinGuard guard(lock_);
   if (block >= blocks_.size() || blocks_[block].refcount == 0) {
     return ErrCode::kInval;

@@ -1,0 +1,19 @@
+#include "src/core/pressure.h"
+
+#include <atomic>
+
+namespace cortenmm {
+
+namespace {
+std::atomic<MemPressureGovernor*> g_governor{nullptr};
+}  // namespace
+
+MemPressureGovernor* PressureGovernor() {
+  return g_governor.load(std::memory_order_acquire);
+}
+
+void SetPressureGovernor(MemPressureGovernor* governor) {
+  g_governor.store(governor, std::memory_order_release);
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,63 @@
+// The narrow interface through which the core fault path cooperates with the
+// memory-pressure/reclaim subsystem (src/reclaim) without depending on it.
+//
+// Layering: core must not link against reclaim (reclaim drives VmSpace, so the
+// dependency points the other way). Instead core publishes this governor
+// interface; src/reclaim implements it and installs its singleton at Start().
+// With no governor installed (the default — unit tests, benches that predate
+// reclaim) every hook is skipped and core behaves exactly as before.
+//
+// Locking contract: every hook is invoked OUTSIDE any RCursor transaction.
+// Implementations may take their own cursors (direct reclaim calls SwapOut,
+// which locks the victim range), sleep (throttling), or block briefly on the
+// tenant registry — none of which is legal while the caller holds subtree
+// locks. HandleFault honors this by running BeforeFault before Lock() and
+// OnFaultNoMem after the failed transaction's cursor has been destroyed.
+#ifndef SRC_CORE_PRESSURE_H_
+#define SRC_CORE_PRESSURE_H_
+
+namespace cortenmm {
+
+class VmSpace;
+
+class MemPressureGovernor {
+ public:
+  virtual ~MemPressureGovernor() = default;
+
+  // VmSpace lifecycle. OnSpaceCreated registers the space as a tenant (so the
+  // reclaim clock can resolve frame owners back to it); OnSpaceDestroying is
+  // called at the very START of ~VmSpace — before the teardown transaction —
+  // and must not return until no reclaimer can touch the space again.
+  virtual void OnSpaceCreated(VmSpace* space) = 0;
+  virtual void OnSpaceDestroying(VmSpace* space) = 0;
+
+  // Fault-time admission, called before the fault transaction is opened.
+  // Enforces the per-tenant resident limit (direct reclaim of the tenant's
+  // own cold pages) and throttles when the machine is under the min
+  // watermark. Never fails: pressure degrades faults to slow, not to kNoMem.
+  virtual void BeforeFault(VmSpace* space) = 0;
+
+  // A fault transaction failed with kNoMem and its cursor has been unwound.
+  // Returns true when reclaim freed memory and the fault should be retried;
+  // false when no progress is possible (the kNoMem then surfaces). |attempt|
+  // counts prior retries of this same fault.
+  virtual bool OnFaultNoMem(VmSpace* space, int attempt) = 0;
+
+  // THP gate: false demotes an eligible 2 MiB fault-in to the 4 KiB ladder
+  // (allocating 512 frames under pressure would immediately re-trigger
+  // reclaim for a speculative win).
+  virtual bool AllowHugeFaultIn(VmSpace* space) = 0;
+
+  // Ring-submission gate: true while the tenant is over its resident limit.
+  // The ring frontend bounces resident-growing submissions (backpressure)
+  // instead of queueing work the fault path would only throttle.
+  virtual bool OverLimit(VmSpace* space) = 0;
+};
+
+// Process-wide governor; nullptr when no reclaim subsystem is running.
+MemPressureGovernor* PressureGovernor();
+void SetPressureGovernor(MemPressureGovernor* governor);
+
+}  // namespace cortenmm
+
+#endif  // SRC_CORE_PRESSURE_H_

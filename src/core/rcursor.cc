@@ -179,6 +179,7 @@ void RCursor::ClearLeaf(Pfn pt_page, int level, uint64_t index, Vaddr va) {
   for (uint64_t f = 0; f < frames; ++f) {
     mem.Descriptor(head + f).mapcount.fetch_sub(1, std::memory_order_acq_rel);
   }
+  space_->AddResidentPages(-static_cast<int64_t>(frames));
   // The references are dropped only after the TLB shootdown completes — and
   // the whole leaf is ONE gathered record whatever its order, so a 2 MiB
   // unmap costs one dead-run entry, not 512.
@@ -259,6 +260,7 @@ VoidResult RCursor::MapHuge(Vaddr addr, Pfn pfn, Perm perm, int level) {
   for (uint64_t f = 0; f < frames; ++f) {
     mem.Descriptor(pfn + f).mapcount.fetch_add(1, std::memory_order_acq_rel);
   }
+  space_->AddResidentPages(static_cast<int64_t>(frames));
   pages_touched_ += frames;
   // Record the reverse mapping on the head frame (hint; see paper §4.5).
   {
@@ -333,6 +335,7 @@ VoidResult RCursor::CloneSubtree(RCursor& child, Pfn parent_page, Pfn child_page
         AddFrameRef(head + f);
         mem.Descriptor(head + f).mapcount.fetch_add(1, std::memory_order_acq_rel);
       }
+      child.space_->AddResidentPages(static_cast<int64_t>(frames));
       continue;
     }
     // Table entry: allocate the child's counterpart (born locked in the

@@ -1,9 +1,11 @@
 #include "src/core/vm_space.h"
 
 #include <cassert>
+#include <optional>
 #include <utility>
 
 #include "src/common/stats.h"
+#include "src/core/pressure.h"
 #include "src/fault/fault_inject.h"
 #include "src/obs/telemetry.h"
 #include "src/pmm/buddy.h"
@@ -42,10 +44,18 @@ void DropSwapRefs(RCursor& cursor, VaRange range) {
 
 }  // namespace
 
-VmSpace::VmSpace(const AddrSpace::Options& options) : space_(options) {}
+VmSpace::VmSpace(const AddrSpace::Options& options) : space_(options) {
+  if (MemPressureGovernor* governor = PressureGovernor()) {
+    governor->OnSpaceCreated(this);
+  }
+}
 
 VmSpace::VmSpace(const AddrSpace::Options& options, PageTable pt)
-    : space_(options, std::move(pt)) {}
+    : space_(options, std::move(pt)) {
+  if (MemPressureGovernor* governor = PressureGovernor()) {
+    governor->OnSpaceCreated(this);
+  }
+}
 
 Result<std::unique_ptr<VmSpace>> VmSpace::Create(const AddrSpace::Options& options) {
   Result<PageTable> pt = PageTable::Create(options.arch);
@@ -56,6 +66,13 @@ Result<std::unique_ptr<VmSpace>> VmSpace::Create(const AddrSpace::Options& optio
 }
 
 VmSpace::~VmSpace() {
+  // Deregister from the reclaim tenant registry FIRST — before the teardown
+  // transaction below takes the whole-space lock. The governor waits out any
+  // in-flight reclaimer pinning this space; doing that while holding the
+  // whole-space cursor would deadlock against a reclaimer blocked on it.
+  if (MemPressureGovernor* governor = PressureGovernor()) {
+    governor->OnSpaceDestroying(this);
+  }
   // Release swap blocks still referenced by marks; the AddrSpace destructor
   // then tears down the page table itself through the transactional interface.
   VaRange everything(0, kVaLimit);
@@ -392,6 +409,11 @@ bool VmSpace::TryHugeFaultIn(RCursor& cursor, VaRange huge_range, const Status& 
 
 VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   ScopedOpTimer telemetry_timer(MmOp::kFault);
+  // Pressure admission runs before the transaction: the governor may reclaim
+  // (taking its own cursors) or sleep, neither legal under subtree locks.
+  if (MemPressureGovernor* governor = PressureGovernor()) {
+    governor->BeforeFault(this);
+  }
   Vaddr page_va = AlignDown(va, kPageSize);
   // Under the huge-page policy the transaction covers the surrounding 2 MiB
   // slot, so an eligible anon fault can install a level-2 leaf — and a write
@@ -399,8 +421,22 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   bool huge = space_.options().huge_pages;
   Vaddr lock_base = huge ? AlignDown(page_va, kHugePageSize) : page_va;
   VaRange fault_range(lock_base, lock_base + (huge ? kHugePageSize : kPageSize));
-  RCursor cursor = space_.Lock(fault_range);
-  return HandleFaultLocked(cursor, page_va, access);
+  for (int attempt = 0;; ++attempt) {
+    VoidResult r = [&] {
+      RCursor cursor = space_.Lock(fault_range);
+      return HandleFaultLocked(cursor, page_va, access);
+    }();
+    if (r.ok() || r.error() != ErrCode::kNoMem) {
+      return r;
+    }
+    // Allocation failed mid-fault and the transaction rolled back (cursor
+    // unwound above). Under a governor, kNoMem degrades to direct reclaim +
+    // retry; the error only surfaces once reclaim cannot make progress.
+    MemPressureGovernor* governor = PressureGovernor();
+    if (governor == nullptr || !governor->OnFaultNoMem(this, attempt)) {
+      return r;
+    }
+  }
 }
 
 VoidResult VmSpace::HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access access) {
@@ -409,6 +445,11 @@ VoidResult VmSpace::HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access acc
   Status status = cursor.Query(page_va);
 
   if (status.mapped()) {
+    // Reference for the reclaim clock: software faults are the only access
+    // notifications the simulated MMU delivers, so they double as the
+    // second-chance "referenced" signal.
+    PhysMem::Instance().Descriptor(status.pfn).young.store(true,
+                                                           std::memory_order_relaxed);
     Perm perm = status.perm;
     bool want_write = access == Access::kWrite;
     if (want_write && perm.cow()) {
@@ -464,13 +505,20 @@ VoidResult VmSpace::HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access acc
     return ErrCode::kFault;  // SEGV.
   }
   if (space_.options().huge_pages && status.tag == StatusTag::kPrivateAnon) {
-    Vaddr huge_base = AlignDown(page_va, kHugePageSize);
-    VaRange huge_range(huge_base, huge_base + kHugePageSize);
-    // A fused batch may have locked less than the 2 MiB slot; the huge rung
-    // needs the whole slot under this cursor's covering lock.
-    if (cursor.range().Contains(huge_range) &&
-        TryHugeFaultIn(cursor, huge_range, status, access)) {
-      return VoidResult();
+    // Pressure gate: under the low watermark a speculative 512-frame grab
+    // would immediately re-trigger reclaim, so the fault demotes to 4 KiB.
+    MemPressureGovernor* governor = PressureGovernor();
+    if (governor != nullptr && !governor->AllowHugeFaultIn(this)) {
+      CountEvent(Counter::kReclaimHugeSuppressed);
+    } else {
+      Vaddr huge_base = AlignDown(page_va, kHugePageSize);
+      VaRange huge_range(huge_base, huge_base + kHugePageSize);
+      // A fused batch may have locked less than the 2 MiB slot; the huge rung
+      // needs the whole slot under this cursor's covering lock.
+      if (cursor.range().Contains(huge_range) &&
+          TryHugeFaultIn(cursor, huge_range, status, access)) {
+        return VoidResult();
+      }
     }
   }
   return FaultInPage(cursor, page_va, status, access);
@@ -508,11 +556,26 @@ bool VmSpace::TryExecuteFused(const MmSqe* sqes, MmCqe* cqes, size_t n) {
   Telemetry::Instance().RecordBatch(BatchStat::kRingOpsPerFusedTxn, n);
 
   // Munmapped VA blocks go back to the allocator only after the transaction
-  // commits (cursor unwound, TLB flushed) — the sync path's ordering.
+  // commits (cursor unwound, TLB flushed) — the sync path's ordering. The
+  // list is bounded: at kMaxDeferredFreeVa the batch commits early (cursor
+  // destroyed, one flush), the blocks are returned, and a fresh transaction
+  // picks up the remaining ops, so fleet-scale churn cannot grow it without
+  // bound.
+  constexpr size_t kMaxDeferredFreeVa = 16;
   std::vector<VaRange> deferred_frees;
   {
-    RCursor cursor = space_.Lock(VaRange(lo, hi));
+    std::optional<RCursor> cursor;
+    cursor.emplace(space_.Lock(VaRange(lo, hi)));
     for (size_t i = 0; i < n; ++i) {
+      if (deferred_frees.size() >= kMaxDeferredFreeVa) {
+        cursor.reset();  // Commit: unwind locks, ONE gathered flush.
+        for (const VaRange& freed : deferred_frees) {
+          space_.FreeVa(freed.start, freed.size());
+        }
+        deferred_frees.clear();
+        CountEvent(Counter::kFusedVaFlushes);
+        cursor.emplace(space_.Lock(VaRange(lo, hi)));
+      }
       const MmSqe& sqe = sqes[i];
       MmCqe& cqe = cqes[i];
       cqe.err = ErrCode::kOk;
@@ -523,13 +586,13 @@ bool VmSpace::TryExecuteFused(const MmSqe* sqes, MmCqe* cqes, size_t n) {
         case MmOpCode::kMmapAnonFixed: {
           // MAP_FIXED replacement, same reserve-then-replace discipline as
           // MmapAnonAt: after Prepare, the Mark cannot fail.
-          VoidResult reserved = cursor.Prepare(range, /*for_marks=*/true);
+          VoidResult reserved = cursor->Prepare(range, /*for_marks=*/true);
           if (!reserved.ok()) {
             cqe.err = reserved.error();
             break;
           }
-          DropSwapRefs(cursor, range);
-          VoidResult r = cursor.Mark(range, Status::PrivateAnon(sqe.perm));
+          DropSwapRefs(*cursor, range);
+          VoidResult r = cursor->Mark(range, Status::PrivateAnon(sqe.perm));
           if (r.ok()) {
             cqe.va = sqe.va;
           } else {
@@ -538,13 +601,13 @@ bool VmSpace::TryExecuteFused(const MmSqe* sqes, MmCqe* cqes, size_t n) {
           break;
         }
         case MmOpCode::kMunmap: {
-          VoidResult reserved = cursor.Prepare(range, /*for_marks=*/false);
+          VoidResult reserved = cursor->Prepare(range, /*for_marks=*/false);
           if (!reserved.ok()) {
             cqe.err = reserved.error();
             break;
           }
-          DropSwapRefs(cursor, range);
-          VoidResult r = cursor.Unmap(range);
+          DropSwapRefs(*cursor, range);
+          VoidResult r = cursor->Unmap(range);
           if (r.ok()) {
             deferred_frees.push_back(range);
           } else {
@@ -553,7 +616,7 @@ bool VmSpace::TryExecuteFused(const MmSqe* sqes, MmCqe* cqes, size_t n) {
           break;
         }
         case MmOpCode::kMprotect: {
-          VoidResult r = cursor.Protect(range, sqe.perm);
+          VoidResult r = cursor->Protect(range, sqe.perm);
           if (!r.ok()) {
             cqe.err = r.error();
           }
@@ -562,7 +625,7 @@ bool VmSpace::TryExecuteFused(const MmSqe* sqes, MmCqe* cqes, size_t n) {
         case MmOpCode::kFault: {
           ScopedOpTimer telemetry_timer(MmOp::kFault);
           VoidResult r =
-              HandleFaultLocked(cursor, AlignDown(sqe.va, kPageSize), sqe.access);
+              HandleFaultLocked(*cursor, AlignDown(sqe.va, kPageSize), sqe.access);
           if (!r.ok()) {
             cqe.err = r.error();
           }
@@ -628,6 +691,10 @@ Result<uint64_t> VmSpace::SwapOut(Vaddr va, uint64_t len) {
     Result<uint32_t> block =
         SwapDevice::Instance().WriteNewBlock(PhysMem::Instance().FrameData(victim.pfn));
     if (!block.ok()) {
+      // Device full / injected write error: the victim stays resident (the
+      // only state change so far is a Prepare split, which is semantically
+      // invisible), so no unwind is needed — the eviction simply stops.
+      FaultInjector::NoteSurvived();
       break;
     }
     cursor.Unmap(page);

@@ -21,6 +21,10 @@ const char* FaultSiteName(FaultSite site) {
       return "adv_lock_stall";
     case FaultSite::kRwLockStall:
       return "rw_lock_stall";
+    case FaultSite::kSwapDevWrite:
+      return "swap_dev_write";
+    case FaultSite::kSwapDevRead:
+      return "swap_dev_read";
     case FaultSite::kSiteCount:
       break;
   }

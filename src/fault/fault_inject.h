@@ -35,6 +35,10 @@ enum class FaultSite : int {
   kShootdownStraggler,    // A shootdown target CPU delays before invalidating.
   kAdvLockStall,          // kAdv: between RCU traversal and the MCS acquire.
   kRwLockStall,           // kRw: inside the read-unlock -> write-lock upgrade.
+  kSwapDevWrite,          // SwapDevice::WriteNewBlock fails (device full /
+                          // write error) — mid-eviction rollback coverage.
+  kSwapDevRead,           // SwapDevice::ReadBlock fails (transient IO error)
+                          // — swap-in fault paths must surface it cleanly.
   kSiteCount,
 };
 

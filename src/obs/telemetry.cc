@@ -245,6 +245,22 @@ uint64_t TraceRing::Dropped() const {
   return dropped;
 }
 
+std::vector<TraceRing::CpuStats> TraceRing::PerCpuStats() const {
+  std::vector<CpuStats> stats;
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    uint64_t head = cpus_[cpu].value.head.load(std::memory_order_relaxed);
+    if (head == 0) {
+      continue;
+    }
+    CpuStats s;
+    s.cpu = cpu;
+    s.recorded = head;
+    s.dropped = head > kCapacity ? head - kCapacity : 0;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
 std::vector<TraceEvent> TraceRing::MergeSorted() const {
   std::vector<TraceEvent> merged;
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
@@ -354,6 +370,12 @@ void AppendValueHistogramJson(std::ostringstream& os, const char* name,
 
 }  // namespace
 
+void Telemetry::AddJsonSection(const std::string& key,
+                               std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(sections_mu_);
+  sections_[key] = std::move(provider);
+}
+
 std::string Telemetry::DumpJson(const std::string& label) const {
   std::ostringstream os;
   os << "{\"label\":\"" << label << "\",\"ops\":{";
@@ -388,8 +410,28 @@ std::string Telemetry::DumpJson(const std::string& label) const {
     first = false;
     os << "\"" << CounterName(c) << "\":" << total;
   }
-  os << "},\"trace\":{\"recorded\":" << trace_.Recorded()
-     << ",\"dropped\":" << trace_.Dropped() << "}";
+  uint64_t recorded = trace_.Recorded();
+  uint64_t dropped = trace_.Dropped();
+  os << "},\"traces\":{\"recorded\":" << recorded << ",\"dropped\":" << dropped
+     << ",\"drop_rate\":"
+     << (recorded > 0 ? static_cast<double>(dropped) / recorded : 0.0)
+     << ",\"per_cpu\":[";
+  first = true;
+  for (const TraceRing::CpuStats& s : trace_.PerCpuStats()) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"cpu\":" << s.cpu << ",\"recorded\":" << s.recorded
+       << ",\"dropped\":" << s.dropped << "}";
+  }
+  os << "]}";
+  {
+    std::lock_guard<std::mutex> lock(sections_mu_);
+    for (const auto& [key, provider] : sections_) {
+      os << ",\"" << key << "\":" << provider();
+    }
+  }
   // Chaos-mode accounting: per-site injected/survived/rolled-back counters.
   // Omitted entirely when no fault site was ever checked (the common case).
   std::string faults = FaultInjector::Instance().DumpJson();

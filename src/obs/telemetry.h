@@ -23,6 +23,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -205,6 +208,17 @@ class TraceRing {
   uint64_t Recorded() const;
   uint64_t Dropped() const;
 
+  // Per-CPU accounting — the drop-blindness fix: a ring that silently
+  // overwrote 90% of one hot CPU's events is invisible in the all-CPU totals
+  // only until you look here.
+  struct CpuStats {
+    int cpu = 0;
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+  };
+  // Only CPUs that recorded at least one event.
+  std::vector<CpuStats> PerCpuStats() const;
+
   std::vector<TraceEvent> MergeSorted() const;
   void Reset();
 
@@ -241,9 +255,17 @@ class Telemetry {
 
   void Reset();
 
+  // Registers (or replaces) an auxiliary JSON section emitted into every
+  // DumpJson document under |key|. The provider returns a complete JSON
+  // value. This is how subsystems above obs (reclaim's watermark state block)
+  // get into the telemetry document without obs depending on them.
+  void AddJsonSection(const std::string& key,
+                      std::function<std::string()> provider);
+
   // One JSON snapshot object: {"label": ..., "ops": {...}, "phases": {...},
-  // "counters": {...}, "trace": {...}}. Histograms report count/p50/p99/
-  // mean/max in nanoseconds; empty histograms are omitted.
+  // "counters": {...}, "traces": {...}}. Histograms report count/p50/p99/
+  // mean/max in nanoseconds; empty histograms are omitted. The "traces"
+  // block carries total + per-CPU recorded/dropped counts and the drop rate.
   std::string DumpJson(const std::string& label) const;
 
  private:
@@ -256,6 +278,8 @@ class Telemetry {
   };
   CacheAligned<Cpu> cpus_[kMaxCpus];
   TraceRing trace_;
+  mutable std::mutex sections_mu_;
+  std::map<std::string, std::function<std::string()>> sections_;
 };
 
 // RAII probe for an MM entry point.
@@ -359,6 +383,12 @@ class TraceRing {
   void Record(TraceKind, uint64_t, uint64_t) {}
   uint64_t Recorded() const { return 0; }
   uint64_t Dropped() const { return 0; }
+  struct CpuStats {
+    int cpu = 0;
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+  };
+  std::vector<CpuStats> PerCpuStats() const { return {}; }
   std::vector<TraceEvent> MergeSorted() const { return {}; }
   void Reset() {}
 };
@@ -378,6 +408,7 @@ class Telemetry {
   HistogramSnapshot MergedBatch(BatchStat) const { return {}; }
   TraceRing& trace() { return trace_; }
   void Reset() {}
+  void AddJsonSection(const std::string&, std::function<std::string()>) {}
   std::string DumpJson(const std::string&) const { return "{}"; }
 
  private:

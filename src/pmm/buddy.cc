@@ -39,6 +39,10 @@ BuddyAllocator::BuddyAllocator() {
     free_frames_.fetch_add(1ull << order, std::memory_order_relaxed);
     pfn += 1ull << order;
   }
+
+  // Default watermarks scale with the machine; reclaim or tests may override.
+  low_watermark_.store(total_frames_ / 16, std::memory_order_relaxed);
+  min_watermark_.store(total_frames_ / 64, std::memory_order_relaxed);
 }
 
 void BuddyAllocator::PushFree(Pfn pfn, int order) {
@@ -147,6 +151,7 @@ Result<Pfn> BuddyAllocator::AllocBlock(int order) {
       PhysMem::Instance().Descriptor(*result + f).ResetForAlloc(FrameType::kKernel);
     }
     CountEvent(Counter::kFramesAllocated, 1ull << order);
+    NotePressure();
   }
   return result;
 }
@@ -187,6 +192,7 @@ Result<Pfn> BuddyAllocator::AllocHugeRun() {
   }
   CountEvent(Counter::kHugeAllocs);
   CountEvent(Counter::kFramesAllocated, 1ull << kHugeOrder);
+  NotePressure();
   return head;
 }
 
@@ -231,6 +237,7 @@ Result<Pfn> BuddyAllocator::AllocFrame() {
       cache.frames.pop_back();
       PhysMem::Instance().Descriptor(pfn).ResetForAlloc(FrameType::kKernel);
       CountEvent(Counter::kFramesAllocated);
+      NotePressure();
       return pfn;
     }
   }
@@ -258,6 +265,7 @@ Result<Pfn> BuddyAllocator::AllocFrame() {
   }
   PhysMem::Instance().Descriptor(pfn).ResetForAlloc(FrameType::kKernel);
   CountEvent(Counter::kFramesAllocated);
+  NotePressure();
   return pfn;
 }
 

@@ -42,6 +42,31 @@ class BuddyAllocator {
   uint64_t FreeFrameCount() const { return free_frames_.load(std::memory_order_relaxed); }
   uint64_t TotalFrameCount() const { return total_frames_; }
 
+  // --- Watermarks (reclaim integration) ------------------------------------
+  // Linux-style zone watermarks over the free-frame count. Defaults derive
+  // from the total at construction (low = total/16, min = total/64); the
+  // reclaim subsystem or a test may override them. Allocations never *fail*
+  // at a watermark — the watermarks only drive the pressure hook and the
+  // policy decisions (kswapd wake, fault throttling, THP suppression) made by
+  // the layers above pmm.
+  void SetWatermarks(uint64_t low_frames, uint64_t min_frames) {
+    low_watermark_.store(low_frames, std::memory_order_relaxed);
+    min_watermark_.store(min_frames, std::memory_order_relaxed);
+  }
+  uint64_t LowWatermark() const { return low_watermark_.load(std::memory_order_relaxed); }
+  uint64_t MinWatermark() const { return min_watermark_.load(std::memory_order_relaxed); }
+  bool BelowLow() const { return FreeFrameCount() < LowWatermark(); }
+  bool BelowMin() const { return FreeFrameCount() < MinWatermark(); }
+
+  // Invoked (outside all buddy locks) after any allocation that leaves the
+  // free count under the low watermark. pmm stays ignorant of reclaim: the
+  // reclaim subsystem installs its kswapd wake here. Must be cheap,
+  // non-blocking, and safe to call concurrently from any thread.
+  using PressureHook = void (*)();
+  void SetPressureHook(PressureHook hook) {
+    pressure_hook_.store(hook, std::memory_order_release);
+  }
+
   // Returns all per-CPU cached frames to the global lists (for accounting in
   // tests and memory-overhead benches).
   void FlushCpuCaches();
@@ -68,10 +93,23 @@ class BuddyAllocator {
     std::vector<Pfn> huge_runs;  // Heads of parked order-kHugeOrder runs.
   };
 
+  // Fires the pressure hook when the free count has dropped under the low
+  // watermark. Called at the tail of every successful allocation path.
+  void NotePressure() {
+    if (FreeFrameCount() < low_watermark_.load(std::memory_order_relaxed)) {
+      if (PressureHook hook = pressure_hook_.load(std::memory_order_acquire)) {
+        hook();
+      }
+    }
+  }
+
   SpinLock lock_;
   Pfn free_heads_[kMaxOrder + 1];
   std::atomic<uint64_t> free_frames_{0};
   uint64_t total_frames_ = 0;
+  std::atomic<uint64_t> low_watermark_{0};
+  std::atomic<uint64_t> min_watermark_{0};
+  std::atomic<PressureHook> pressure_hook_{nullptr};
   CacheAligned<CpuCache> cpu_caches_[kMaxCpus];
 };
 

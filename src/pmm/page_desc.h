@@ -82,6 +82,12 @@ struct PageDescriptor {
   void* owner = nullptr;
   uint64_t owner_key = 0;
 
+  // --- Reclaim clock state (valid for kAnon) --------------------------------
+  // Second-chance referenced bit: set on (re)allocation and on every software
+  // fault that touches the frame; the reclaim clock hand clears it on the
+  // first pass and only evicts frames it finds cold on the second.
+  std::atomic<bool> young{true};
+
   void ResetForAlloc(FrameType t) {
     type.store(t, std::memory_order_relaxed);
     refcount.store(1, std::memory_order_relaxed);
@@ -91,6 +97,7 @@ struct PageDescriptor {
     pt_level = 0;
     owner = nullptr;
     owner_key = 0;
+    young.store(true, std::memory_order_relaxed);
   }
 };
 

@@ -1,0 +1,353 @@
+#include "src/reclaim/reclaim.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "src/common/cpu.h"
+#include "src/common/stats.h"
+#include "src/core/vm_space.h"
+#include "src/obs/telemetry.h"
+#include "src/pmm/buddy.h"
+#include "src/pmm/page_desc.h"
+#include "src/pmm/phys_mem.h"
+
+namespace cortenmm {
+
+ReclaimSystem& ReclaimSystem::Instance() {
+  static ReclaimSystem* system = new ReclaimSystem();  // Never destroyed.
+  return *system;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+namespace {
+void PressureHookTrampoline() { ReclaimSystem::Instance().Wake(); }
+}  // namespace
+
+void ReclaimSystem::Start(const ReclaimConfig& config) {
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  config_ = config;
+  stop_.store(false, std::memory_order_relaxed);
+  wake_pending_.store(false, std::memory_order_relaxed);
+
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  if (config_.low_watermark != 0 || config_.min_watermark != 0) {
+    uint64_t low = config_.low_watermark != 0 ? config_.low_watermark
+                                              : buddy.LowWatermark();
+    uint64_t min = config_.min_watermark != 0 ? config_.min_watermark
+                                              : buddy.MinWatermark();
+    buddy.SetWatermarks(low, min);
+  }
+
+  int groups = (OnlineCpuCount() + config_.cpus_per_group - 1) /
+               (config_.cpus_per_group > 0 ? config_.cpus_per_group : 1);
+  if (groups < 1) {
+    groups = 1;
+  }
+  for (int g = 0; g < groups; ++g) {
+    daemons_.emplace_back([this] { DaemonLoop(); });
+  }
+
+  running_.store(true, std::memory_order_release);
+  SetPressureGovernor(this);
+  buddy.SetPressureHook(&PressureHookTrampoline);
+  Telemetry::Instance().AddJsonSection(
+      "reclaim", [] { return ReclaimSystem::Instance().DumpJson(); });
+}
+
+void ReclaimSystem::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Unhook first so no new governor calls or wakes start after this point.
+  BuddyAllocator::Instance().SetPressureHook(nullptr);
+  SetPressureGovernor(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& daemon : daemons_) {
+    daemon.join();
+  }
+  daemons_.clear();
+  // Spaces destroyed after Stop() no longer call OnSpaceDestroying, so the
+  // registry must not outlive this run. Wait out in-flight pins (a concurrent
+  // direct reclaimer may still hold one), then drop every entry.
+  {
+    std::unique_lock<std::mutex> lock(registry_mu_);
+    for (auto& [space, tenant] : tenants_) {
+      registry_cv_.wait(lock, [&] { return tenant->pins == 0; });
+    }
+    tenants_.clear();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant registry
+// ---------------------------------------------------------------------------
+
+void ReclaimSystem::OnSpaceCreated(VmSpace* space) {
+  auto tenant = std::make_shared<Tenant>();
+  tenant->vm = space;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  tenants_[&space->addr_space()] = std::move(tenant);
+}
+
+void ReclaimSystem::OnSpaceDestroying(VmSpace* space) {
+  std::unique_lock<std::mutex> lock(registry_mu_);
+  auto it = tenants_.find(&space->addr_space());
+  if (it == tenants_.end()) {
+    return;
+  }
+  std::shared_ptr<Tenant> tenant = std::move(it->second);
+  tenants_.erase(it);
+  // After the erase no reclaimer can take a NEW pin; wait out existing ones
+  // so ~VmSpace never races an in-flight SwapOut on this space.
+  registry_cv_.wait(lock, [&] { return tenant->pins == 0; });
+}
+
+std::shared_ptr<ReclaimSystem::Tenant> ReclaimSystem::Pin(AddrSpace* owner) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = tenants_.find(owner);
+  if (it == tenants_.end()) {
+    return nullptr;
+  }
+  ++it->second->pins;
+  return it->second;
+}
+
+void ReclaimSystem::Unpin(const std::shared_ptr<Tenant>& tenant) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    --tenant->pins;
+  }
+  registry_cv_.notify_all();
+}
+
+void ReclaimSystem::SetResidentLimit(VmSpace* space, uint64_t limit_pages) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = tenants_.find(&space->addr_space());
+  if (it != tenants_.end()) {
+    it->second->limit_pages.store(limit_pages, std::memory_order_relaxed);
+  }
+}
+
+uint64_t ReclaimSystem::ResidentLimit(VmSpace* space) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = tenants_.find(&space->addr_space());
+  return it == tenants_.end()
+             ? 0
+             : it->second->limit_pages.load(std::memory_order_relaxed);
+}
+
+size_t ReclaimSystem::TenantCount() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return tenants_.size();
+}
+
+// ---------------------------------------------------------------------------
+// The clock
+// ---------------------------------------------------------------------------
+
+uint64_t ReclaimSystem::ReclaimPages(uint64_t target_pages, AddrSpace* only,
+                                     uint64_t max_scan) {
+  PhysMem& mem = PhysMem::Instance();
+  uint64_t frames = mem.num_frames();
+  if (frames <= 1 || target_pages == 0) {
+    return 0;
+  }
+  if (max_scan == 0) {
+    // Two full sweeps: the first clears `young` everywhere, the second may
+    // evict — the clock's second chance, bounded.
+    max_scan = 2 * frames;
+  }
+  uint64_t evicted = 0;
+  uint64_t scanned = 0;
+  while (evicted < target_pages && scanned < max_scan) {
+    Pfn pfn = 1 + (clock_hand_.fetch_add(1, std::memory_order_relaxed) %
+                   (frames - 1));
+    ++scanned;
+    PageDescriptor& desc = mem.Descriptor(pfn);
+    if (desc.type.load(std::memory_order_relaxed) != FrameType::kAnon) {
+      continue;
+    }
+    // Only exclusive anon pages are candidates — the same criterion SwapOut
+    // re-checks authoritatively under the subtree lock.
+    if (desc.mapcount.load(std::memory_order_acquire) != 1 ||
+        desc.refcount.load(std::memory_order_acquire) != 1) {
+      continue;
+    }
+    if (desc.young.exchange(false, std::memory_order_relaxed)) {
+      continue;  // Second chance: referenced since the last pass.
+    }
+    AddrSpace* owner;
+    Vaddr va;
+    {
+      SpinGuard guard(desc.rmap_lock);
+      owner = static_cast<AddrSpace*>(desc.owner);
+      va = desc.owner_key;
+    }
+    if (owner == nullptr || (only != nullptr && owner != only)) {
+      continue;
+    }
+    std::shared_ptr<Tenant> tenant = Pin(owner);
+    if (tenant == nullptr) {
+      continue;  // Tenant gone (or never registered); hint is stale.
+    }
+    // The authoritative eviction: SwapOut revalidates under the subtree lock
+    // (splitting a huge leaf first if the hint points into one), so a stale
+    // hint is at worst a no-op.
+    Result<uint64_t> swapped = tenant->vm->SwapOut(va, kPageSize);
+    Unpin(tenant);
+    if (swapped.ok() && *swapped > 0) {
+      evicted += *swapped;
+    }
+  }
+  CountEvent(Counter::kReclaimScannedFrames, scanned);
+  if (evicted > 0) {
+    CountEvent(Counter::kReclaimPagesEvicted, evicted);
+  }
+  return evicted;
+}
+
+// ---------------------------------------------------------------------------
+// kswapd
+// ---------------------------------------------------------------------------
+
+void ReclaimSystem::Wake() {
+  if (stop_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    CountEvent(Counter::kReclaimWakeups);
+    wake_cv_.notify_all();
+  }
+}
+
+void ReclaimSystem::DaemonLoop() {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Periodic tick besides the explicit wake: a notify that raced the wait
+    // is covered, and sustained pressure keeps being worked on.
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             wake_pending_.load(std::memory_order_acquire);
+    });
+    if (stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    wake_pending_.store(false, std::memory_order_release);
+    lock.unlock();
+    while (!stop_.load(std::memory_order_acquire) && buddy.BelowLow()) {
+      if (ReclaimPages(config_.bg_batch) == 0) {
+        CountEvent(Counter::kReclaimStalls);
+        break;  // Nothing evictable; wait for the next wake/tick.
+      }
+    }
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Governor hooks (the fault path's view)
+// ---------------------------------------------------------------------------
+
+void ReclaimSystem::BeforeFault(VmSpace* space) {
+  // Per-tenant resident limit: reclaim the tenant's own cold pages before the
+  // fault grows its RSS further. Bounded scan — a fully-hot working set must
+  // not turn every fault into a full PFN sweep.
+  std::shared_ptr<Tenant> self = Pin(&space->addr_space());
+  if (self != nullptr) {
+    uint64_t limit = self->limit_pages.load(std::memory_order_relaxed);
+    uint64_t resident = space->addr_space().ResidentPagesFast();
+    if (limit != 0 && resident >= limit) {
+      CountEvent(Counter::kReclaimLimitHits);
+      CountEvent(Counter::kReclaimDirectRuns);
+      uint64_t want = resident - limit + 1;
+      ReclaimPages(want, &space->addr_space(),
+                   /*max_scan=*/2048 + 8 * want);
+    }
+  }
+  if (self != nullptr) {
+    Unpin(self);
+  }
+
+  // Min-watermark throttle: allocations below MIN would race kswapd to the
+  // floor, so the fault trades latency for progress — bounded, so a fault
+  // can degrade to slow but never block forever.
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  for (int round = 0; round < config_.max_throttle_rounds && buddy.BelowMin();
+       ++round) {
+    CountEvent(Counter::kReclaimThrottles);
+    Wake();
+    uint64_t got = ReclaimPages(config_.direct_batch, nullptr, /*max_scan=*/4096);
+    if (got == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(config_.throttle_us));
+    }
+  }
+}
+
+bool ReclaimSystem::OnFaultNoMem(VmSpace* space, int attempt) {
+  (void)space;
+  if (attempt >= config_.max_fault_retries) {
+    return false;
+  }
+  CountEvent(Counter::kReclaimDirectRuns);
+  uint64_t got = ReclaimPages(config_.direct_batch);
+  if (got > 0) {
+    return true;
+  }
+  CountEvent(Counter::kReclaimStalls);
+  // Nothing evictable. Frames parked in OTHER CPUs' buddy caches are
+  // invisible to this CPU's allocation path; flushing them to the global
+  // lists may be all the fault needs.
+  BuddyAllocator::Instance().FlushCpuCaches();
+  // A couple of blind retries also absorb transient failures (a racing freer,
+  // an injected allocator fault) without letting a truly-exhausted machine
+  // spin forever.
+  return attempt < 2 && BuddyAllocator::Instance().FreeFrameCount() > 0;
+}
+
+bool ReclaimSystem::AllowHugeFaultIn(VmSpace* space) {
+  (void)space;
+  return !BuddyAllocator::Instance().BelowLow();
+}
+
+bool ReclaimSystem::OverLimit(VmSpace* space) {
+  std::shared_ptr<Tenant> tenant = Pin(&space->addr_space());
+  if (tenant == nullptr) {
+    return false;
+  }
+  uint64_t limit = tenant->limit_pages.load(std::memory_order_relaxed);
+  bool over = limit != 0 && space->addr_space().ResidentPagesFast() >= limit;
+  Unpin(tenant);
+  return over;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+std::string ReclaimSystem::DumpJson() {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  std::ostringstream os;
+  os << "{\"total_frames\":" << buddy.TotalFrameCount()
+     << ",\"free_frames\":" << buddy.FreeFrameCount()
+     << ",\"low_watermark\":" << buddy.LowWatermark()
+     << ",\"min_watermark\":" << buddy.MinWatermark()
+     << ",\"below_low\":" << (buddy.BelowLow() ? 1 : 0)
+     << ",\"below_min\":" << (buddy.BelowMin() ? 1 : 0)
+     << ",\"tenants\":" << TenantCount()
+     << ",\"kswapd_threads\":" << daemons_.size()
+     << ",\"running\":" << (running() ? 1 : 0) << "}";
+  return os.str();
+}
+
+}  // namespace cortenmm

@@ -1,0 +1,164 @@
+// Memory-pressure survival: kswapd-style background reclaim, a second-chance
+// clock over the frame descriptors, and per-tenant resident-set limits.
+//
+// The machine's operating regime under overcommit (ROADMAP item 2): many
+// VmSpaces ("tenants") whose working sets sum past physical memory. This
+// subsystem keeps faults succeeding — slowly — instead of surfacing kNoMem:
+//
+//  * Watermarks. The buddy allocator carries low/min free-frame watermarks
+//    (src/pmm). Every allocation that leaves the free count under LOW fires
+//    the pressure hook, which wakes the background reclaimers. Under MIN the
+//    fault path throttles: it runs direct reclaim and sleeps rather than
+//    letting allocations race the reclaimers to the floor.
+//
+//  * Clock. Eviction candidates come from a global second-chance clock hand
+//    sweeping the PFN space. A frame is a candidate when it is exclusive
+//    anonymous (type kAnon, mapcount == refcount == 1) and its `young` bit —
+//    set at allocation and on every software fault — has already been cleared
+//    by a previous pass. The hand only generates *hints*: the authoritative
+//    check happens inside VmSpace::SwapOut under the normal RCursor subtree
+//    locks, so a stale hint evicts nothing (or harmlessly evicts a page that
+//    became cold again) — reclaim is always semantically invisible.
+//
+//  * kswapd. Start() spawns one background reclaimer per CPU group
+//    (cpus_per_group simulated CPUs each, introducing the group notion to
+//    src/sim's flat topology). They sleep on a condvar, wake on the pressure
+//    hook (or a periodic tick, covering missed wakes), and evict until the
+//    free count is back above LOW, via SwapOut + SplitLeaf under the normal
+//    lock discipline.
+//
+//  * Tenants. Every VmSpace registers here on construction (via the
+//    MemPressureGovernor hooks in src/core/pressure.h) and deregisters at the
+//    START of destruction, spinning out any reclaimer that still holds a pin
+//    on it. SetResidentLimit() arms a cgroup-style RSS cap: a fault that
+//    finds its tenant over limit first direct-reclaims the tenant's own cold
+//    pages (kReclaimLimitHits), and the ring frontend bounces resident-
+//    growing submissions for that tenant (kRingLimitRejects).
+#ifndef SRC_RECLAIM_RECLAIM_H_
+#define SRC_RECLAIM_RECLAIM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/pressure.h"
+
+namespace cortenmm {
+
+class AddrSpace;
+
+struct ReclaimConfig {
+  // Simulated CPUs per kswapd: Start() spawns ceil(online / cpus_per_group)
+  // background reclaimer threads.
+  int cpus_per_group = 8;
+  // Watermarks in frames; 0 keeps the buddy's defaults (total/16, total/64).
+  uint64_t low_watermark = 0;
+  uint64_t min_watermark = 0;
+  // Eviction target per background scan round.
+  uint64_t bg_batch = 64;
+  // Eviction target per direct-reclaim pass from a fault path.
+  uint64_t direct_batch = 32;
+  // A fault retries at most this many times after kNoMem (each retry is
+  // preceded by a direct-reclaim pass that made progress).
+  int max_fault_retries = 16;
+  // Throttle sleep below the min watermark, microseconds per round.
+  int throttle_us = 200;
+  // Bounded throttle rounds per fault (so a fault cannot sleep forever).
+  int max_throttle_rounds = 8;
+};
+
+class ReclaimSystem : public MemPressureGovernor {
+ public:
+  static ReclaimSystem& Instance();
+
+  // Installs the watermarks, the buddy pressure hook, and the pressure
+  // governor, then spawns the kswapd threads. Tenants register on VmSpace
+  // construction from this point on — spaces created before Start() are
+  // invisible to reclaim. Idempotent.
+  void Start(const ReclaimConfig& config = ReclaimConfig());
+  // Joins the kswapd threads, uninstalls the hooks, and empties the tenant
+  // registry (waiting out in-flight pins). Idempotent.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Arms a resident-set limit (in pages, 0 = unlimited) for a registered
+  // tenant. Faults beyond the limit degrade to direct reclaim of the tenant's
+  // own cold pages; ring submissions that would grow the RSS are bounced.
+  void SetResidentLimit(VmSpace* space, uint64_t limit_pages);
+  uint64_t ResidentLimit(VmSpace* space);
+
+  // One reclaim pass: advance the clock hand until |target_pages| have been
+  // evicted, |max_scan| descriptors were examined, or the PFN space yields
+  // nothing. |only| restricts eviction to one tenant's pages (the per-tenant
+  // limit path). Returns pages evicted. Safe from any thread holding no
+  // subtree locks.
+  uint64_t ReclaimPages(uint64_t target_pages, AddrSpace* only = nullptr,
+                        uint64_t max_scan = 0);
+
+  // Wakes the background reclaimers (the buddy pressure hook target).
+  void Wake();
+
+  size_t TenantCount();
+
+  // --- MemPressureGovernor -------------------------------------------------
+  void OnSpaceCreated(VmSpace* space) override;
+  void OnSpaceDestroying(VmSpace* space) override;
+  void BeforeFault(VmSpace* space) override;
+  bool OnFaultNoMem(VmSpace* space, int attempt) override;
+  bool AllowHugeFaultIn(VmSpace* space) override;
+  bool OverLimit(VmSpace* space) override;
+
+  // The telemetry watermark-state block: {"free_frames":...,...}.
+  std::string DumpJson();
+
+ private:
+  ReclaimSystem() = default;
+
+  struct Tenant {
+    VmSpace* vm = nullptr;
+    std::atomic<uint64_t> limit_pages{0};
+    // Reclaimers pin a tenant while calling into its VmSpace; deregistration
+    // waits until every pin is dropped before ~VmSpace proceeds.
+    int pins = 0;
+  };
+
+  std::shared_ptr<Tenant> Pin(AddrSpace* owner);
+  void Unpin(const std::shared_ptr<Tenant>& tenant);
+  void DaemonLoop();
+
+  ReclaimConfig config_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> wake_pending_{false};
+  std::vector<std::thread> daemons_;
+
+  std::mutex registry_mu_;
+  std::condition_variable registry_cv_;
+  std::map<AddrSpace*, std::shared_ptr<Tenant>> tenants_;
+
+  std::atomic<uint64_t> clock_hand_{1};
+};
+
+// RAII Start/Stop for tests and benches.
+class ScopedReclaim {
+ public:
+  explicit ScopedReclaim(const ReclaimConfig& config = ReclaimConfig()) {
+    ReclaimSystem::Instance().Start(config);
+  }
+  ~ScopedReclaim() { ReclaimSystem::Instance().Stop(); }
+  ScopedReclaim(const ScopedReclaim&) = delete;
+  ScopedReclaim& operator=(const ScopedReclaim&) = delete;
+};
+
+}  // namespace cortenmm
+
+#endif  // SRC_RECLAIM_RECLAIM_H_

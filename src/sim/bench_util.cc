@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/baseline/linux_mm.h"
+#include "src/obs/telemetry.h"
 #include "src/pmm/phys_mem.h"
 #include "src/baseline/nros_mm.h"
 #include "src/baseline/radixvm_mm.h"
@@ -283,6 +284,30 @@ void PrintRow(const std::string& label, const std::vector<double>& values,
     }
   }
   std::printf("\n");
+}
+
+void PrintTraceDropRate() {
+  const TraceRing& ring = Telemetry::Instance().trace();
+  uint64_t recorded = ring.Recorded();
+  uint64_t dropped = ring.Dropped();
+  double rate = recorded > 0 ? static_cast<double>(dropped) / recorded : 0.0;
+  double worst = 0.0;
+  int worst_cpu = -1;
+  for (const TraceRing::CpuStats& s : ring.PerCpuStats()) {
+    double cpu_rate =
+        s.recorded > 0 ? static_cast<double>(s.dropped) / s.recorded : 0.0;
+    if (cpu_rate > worst) {
+      worst = cpu_rate;
+      worst_cpu = s.cpu;
+    }
+  }
+  std::printf("trace drops: %llu/%llu events (%.1f%% drop rate",
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(recorded), rate * 100.0);
+  if (worst_cpu >= 0) {
+    std::printf(", worst cpu %d at %.1f%%", worst_cpu, worst * 100.0);
+  }
+  std::printf(")\n");
 }
 
 std::vector<int> SweepThreads() {

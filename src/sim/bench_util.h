@@ -121,6 +121,12 @@ void PrintRow(const std::string& label, const std::vector<double>& values,
 // Thread counts to sweep given this machine (1..2x hardware threads).
 std::vector<int> SweepThreads();
 
+// Prints the trace-ring drop accounting: total recorded/dropped events, the
+// aggregate drop rate, and the worst single-CPU drop rate. A bench whose
+// traces silently overwrote is not measuring what it claims; smoke runs print
+// this so the blindness is visible in CI logs.
+void PrintTraceDropRate();
+
 }  // namespace cortenmm
 
 #endif  // SRC_SIM_BENCH_UTIL_H_

@@ -7,6 +7,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/common/stats.h"
+#include "src/core/pressure.h"
 #include "src/core/vm_space.h"
 #include "src/sim/mm_interface.h"
 
@@ -45,6 +47,23 @@ class CortenVm final : public MmInterface {
   }
   VoidResult HandleFault(Vaddr va, Access access) override {
     return vm_->HandleFault(va, access);
+  }
+
+  // Ring backpressure under per-tenant resident limits: a fault submission
+  // grows the RSS, so while this tenant is over its limit the frontend
+  // refuses to queue it — the same "ring is full, retry" signal callers
+  // already handle — instead of letting the ring race the reclaimer. Ops
+  // that shrink or leave the RSS alone (munmap, mprotect, swapout, ...)
+  // pass through: they are how the tenant gets back under.
+  bool Submit(const MmSqe& sqe) override {
+    if (sqe.op == MmOpCode::kFault) {
+      MemPressureGovernor* governor = PressureGovernor();
+      if (governor != nullptr && governor->OverLimit(vm_.get())) {
+        CountEvent(Counter::kRingLimitRejects);
+        return false;
+      }
+    }
+    return MmInterface::Submit(sqe);
   }
 
   // Native fused path for ring batches: one RCursor transaction + one
