@@ -98,6 +98,22 @@ const char* CounterName(Counter c) {
       return "reclaim_huge_suppressed";
     case Counter::kRingLimitRejects:
       return "ring_limit_rejects";
+    case Counter::kMagHits:
+      return "mag_hits";
+    case Counter::kMagRefills:
+      return "mag_refills";
+    case Counter::kMagFlushes:
+      return "mag_flushes";
+    case Counter::kMagDrains:
+      return "mag_drains";
+    case Counter::kPrezeroHits:
+      return "prezero_hits";
+    case Counter::kPrescrubFramesZeroed:
+      return "prescrub_frames_zeroed";
+    case Counter::kFaultAroundMapped:
+      return "fault_around_mapped";
+    case Counter::kBuddyLockAcquisitions:
+      return "buddy_lock_acquisitions";
     case Counter::kCount:
       break;
   }

@@ -62,6 +62,14 @@ enum class Counter : int {
   kReclaimLimitHits,      // Faults that found their tenant over its RSS limit.
   kReclaimHugeSuppressed, // 2 MiB fault-ins demoted to 4 KiB by pressure.
   kRingLimitRejects,      // Ring submits bounced while the tenant is over limit.
+  kMagHits,               // Allocations served from a loaded per-CPU magazine.
+  kMagRefills,            // Magazine refills (from the depot or the buddy).
+  kMagFlushes,            // Full magazines spilled to the depot or the buddy.
+  kMagDrains,             // Whole-cache drains (watermark pressure, tests).
+  kPrezeroHits,           // Zero-fills skipped: the frame was pre-scrubbed.
+  kPrescrubFramesZeroed,  // Frames zeroed off the fault path by the scrubber.
+  kFaultAroundMapped,     // Extra neighbour pages mapped by fault-around.
+  kBuddyLockAcquisitions, // Global buddy free-list lock acquisitions.
   kCount,
 };
 

@@ -243,6 +243,16 @@ class AddrSpace {
     // faulting region is huge-aligned, uniformly virtually-allocated anon,
     // and an order-9 run is available — falling back to 4 KiB on kNoMem.
     bool huge_pages = false;
+    // Fault-around: a demand-zero fault also maps up to this many
+    // neighbouring not-present pages of the same VMA, in the same
+    // transaction, within the aligned window of this many pages around the
+    // fault. 0 or 1 disables it (the default — speculative mappings change
+    // resident-set accounting, so workloads opt in). Values are rounded down
+    // to a power of two and capped at 512 so a window can never cross a
+    // 2 MiB slot. Around-mapped pages start with the young bit clear and
+    // count against the tenant's resident limit via
+    // MemPressureGovernor::FaultAroundBudget.
+    uint32_t fault_around_pages = 0;
   };
 
   // Aborts loudly if the page-table root cannot be allocated; OOM-propagating

@@ -16,6 +16,8 @@
 #ifndef SRC_CORE_PRESSURE_H_
 #define SRC_CORE_PRESSURE_H_
 
+#include <cstdint>
+
 namespace cortenmm {
 
 class VmSpace;
@@ -52,6 +54,17 @@ class MemPressureGovernor {
   // The ring frontend bounces resident-growing submissions (backpressure)
   // instead of queueing work the fault path would only throttle.
   virtual bool OverLimit(VmSpace* space) = 0;
+
+  // Fault-around admission, called (like BeforeFault, OUTSIDE the
+  // transaction) before a fault that may speculatively map neighbours: the
+  // maximum number of EXTRA pages this fault may map beyond the faulting
+  // page. The reclaim governor bounds it by the tenant's remaining resident
+  // headroom and returns 0 under the low watermark; the default is
+  // unlimited so fault-around works without a reclaim subsystem.
+  virtual uint64_t FaultAroundBudget(VmSpace* space) {
+    (void)space;
+    return ~0ull;
+  }
 };
 
 // Process-wide governor; nullptr when no reclaim subsystem is running.

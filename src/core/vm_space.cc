@@ -14,19 +14,18 @@
 namespace cortenmm {
 namespace {
 
-// Allocates an anonymous data frame owned by |space| at |va|.
+// Allocates an anonymous data frame destined for a mapping at |va|. The
+// allocator resets the descriptor directly to kAnon (one reset, not
+// kKernel-then-anon). The reverse-mapping hint is NOT recorded here:
+// Map/MapHuge writes owner/owner_key under the rmap lock when the frame is
+// installed, and until then the frame has mapcount 0, which excludes it from
+// every rmap consumer (the reclaim clock requires mapcount == 1).
 Result<Pfn> AllocAnonFrame(AddrSpace* space, Vaddr va, bool zeroed) {
+  (void)space;
+  (void)va;
   BuddyAllocator& buddy = BuddyAllocator::Instance();
-  Result<Pfn> frame = zeroed ? buddy.AllocZeroedFrame() : buddy.AllocFrame();
-  if (!frame.ok()) {
-    return frame;
-  }
-  PageDescriptor& desc = PhysMem::Instance().Descriptor(*frame);
-  desc.ResetForAlloc(FrameType::kAnon);
-  SpinGuard guard(desc.rmap_lock);
-  desc.owner = space;
-  desc.owner_key = va;
-  return frame;
+  return zeroed ? buddy.AllocZeroedFrame(FrameType::kAnon)
+                : buddy.AllocFrame(FrameType::kAnon);
 }
 
 // Releases the swap blocks referenced by Swapped marks in |range|; called
@@ -376,23 +375,22 @@ bool VmSpace::TryHugeFaultIn(RCursor& cursor, VaRange huge_range, const Status& 
   if (!uniform || covered != kHugePageSize) {
     return false;
   }
-  Result<Pfn> run = BuddyAllocator::Instance().AllocHugeRun();
+  bool prezeroed = false;
+  Result<Pfn> run = BuddyAllocator::Instance().AllocHugeRun(&prezeroed,
+                                                            FrameType::kAnon);
   if (!run.ok()) {
     CountEvent(Counter::kHugeFallbacks);
     FaultInjector::NoteSurvived();
     return false;  // Fragmentation/exhaustion: drop to the 4 KiB rung.
   }
   PhysMem& mem = PhysMem::Instance();
-  for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
-    mem.Descriptor(*run + f).ResetForAlloc(FrameType::kAnon);
-    mem.ZeroFrame(*run + f);
+  if (!prezeroed) {
+    for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
+      mem.ZeroFrame(*run + f);
+    }
   }
-  {
-    PageDescriptor& head = mem.Descriptor(*run);
-    SpinGuard guard(head.rmap_lock);
-    head.owner = &space_;
-    head.owner_key = huge_range.start;
-  }
+  // No rmap hint here: MapHuge records owner/owner_key when it installs the
+  // run (a mapcount-0 frame is invisible to rmap consumers until then).
   VoidResult mapped = cursor.MapHuge(huge_range.start, *run, status.perm, 2);
   if (!mapped.ok()) {
     // The run was never installed; dropping our references returns it to the
@@ -407,6 +405,20 @@ bool VmSpace::TryHugeFaultIn(RCursor& cursor, VaRange huge_range, const Status& 
   return true;
 }
 
+uint32_t VmSpace::FaultAroundPages() const {
+  uint32_t v = space_.options().fault_around_pages;
+  if (v < 2) {
+    return 0;
+  }
+  if (v > (1u << kHugeOrder)) {
+    v = 1u << kHugeOrder;
+  }
+  while ((v & (v - 1)) != 0) {
+    v &= v - 1;  // Round down to a power of two.
+  }
+  return v;
+}
+
 VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   ScopedOpTimer telemetry_timer(MmOp::kFault);
   // Pressure admission runs before the transaction: the governor may reclaim
@@ -415,16 +427,36 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
     governor->BeforeFault(this);
   }
   Vaddr page_va = AlignDown(va, kPageSize);
-  // Under the huge-page policy the transaction covers the surrounding 2 MiB
-  // slot, so an eligible anon fault can install a level-2 leaf — and a write
-  // to a huge COW leaf can split it — under the one covering lock.
+  // The transaction covers the fault-around window when that policy is on,
+  // and under the huge-page policy the surrounding 2 MiB slot (a superset of
+  // any window — both are power-of-two aligned, the window at most 2 MiB),
+  // so an eligible anon fault can install a level-2 leaf — and a write to a
+  // huge COW leaf can split it — under the one covering lock.
   bool huge = space_.options().huge_pages;
-  Vaddr lock_base = huge ? AlignDown(page_va, kHugePageSize) : page_va;
-  VaRange fault_range(lock_base, lock_base + (huge ? kHugePageSize : kPageSize));
+  uint32_t fa = FaultAroundPages();
+  Vaddr lock_base = page_va;
+  uint64_t lock_bytes = kPageSize;
+  if (fa != 0) {
+    lock_bytes = static_cast<uint64_t>(fa) * kPageSize;
+    lock_base = AlignDown(page_va, lock_bytes);
+  }
+  if (huge) {
+    lock_base = AlignDown(page_va, kHugePageSize);
+    lock_bytes = kHugePageSize;
+  }
+  VaRange fault_range(lock_base, lock_base + lock_bytes);
+  // Fault-around admission, like BeforeFault, runs OUTSIDE the transaction:
+  // the governor consults the tenant registry, which is illegal to touch
+  // while holding subtree locks.
+  uint64_t around_budget = 0;
+  if (fa != 0) {
+    MemPressureGovernor* governor = PressureGovernor();
+    around_budget = governor != nullptr ? governor->FaultAroundBudget(this) : ~0ull;
+  }
   for (int attempt = 0;; ++attempt) {
     VoidResult r = [&] {
       RCursor cursor = space_.Lock(fault_range);
-      return HandleFaultLocked(cursor, page_va, access);
+      return HandleFaultLocked(cursor, page_va, access, &around_budget);
     }();
     if (r.ok() || r.error() != ErrCode::kNoMem) {
       return r;
@@ -439,7 +471,74 @@ VoidResult VmSpace::HandleFault(Vaddr va, Access access) {
   }
 }
 
-VoidResult VmSpace::HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access access) {
+// Walks outward from the faulting page — nearest neighbours are the
+// likeliest next touches — alternating below/above, and stops each direction
+// at the first page whose status is not byte-for-byte the faulting page's
+// demand-zero status. That single rule enforces every boundary at once: a
+// different VMA has a different status, an already-mapped page (including a
+// huge leaf, so a window can never eat into a huge run) is kMapped, a
+// swapped page is kSwapped. Exhausting |budget| or hitting kNoMem stops the
+// whole walk; the primary fault already succeeded, so there is nothing to
+// roll back — speculation simply ends early.
+uint64_t VmSpace::FaultAround(RCursor& cursor, Vaddr fault_va, const Status& status,
+                              uint64_t budget) {
+  uint32_t fa = FaultAroundPages();
+  if (fa == 0 || budget == 0) {
+    return 0;
+  }
+  const uint64_t window_bytes = static_cast<uint64_t>(fa) * kPageSize;
+  Vaddr window_start = AlignDown(fault_va, window_bytes);
+  VaRange window(window_start, window_start + window_bytes);
+  if (!cursor.range().Contains(window)) {
+    return 0;  // A fused batch locked less than the window; skip speculation.
+  }
+  PhysMem& mem = PhysMem::Instance();
+  Vaddr below = fault_va;                // Next candidate is below - kPageSize.
+  Vaddr above = fault_va + kPageSize;    // Next candidate is above.
+  bool below_open = below > window.start;
+  bool above_open = above < window.end;
+  uint64_t mapped_count = 0;
+  while ((below_open || above_open) && budget > 0) {
+    Vaddr va;
+    if (above_open && (!below_open || (above - fault_va) <= (fault_va - below))) {
+      va = above;
+    } else {
+      va = below - kPageSize;
+    }
+    bool is_above = va >= fault_va;
+    if (!(cursor.Query(va) == status)) {
+      (is_above ? above_open : below_open) = false;
+      continue;
+    }
+    Result<Pfn> frame = AllocAnonFrame(&space_, va, /*zeroed=*/true);
+    if (!frame.ok()) {
+      FaultInjector::NoteSurvived();  // Speculation ends; the fault succeeded.
+      break;
+    }
+    if (!cursor.Map(va, *frame, status.perm).ok()) {
+      DropFrameRef(*frame);
+      FaultInjector::NoteRolledBack();
+      break;
+    }
+    // Around-mapped pages were never touched: they start COLD so the reclaim
+    // clock can take back wrong guesses on its first pass.
+    mem.Descriptor(*frame).young.store(false, std::memory_order_relaxed);
+    CountEvent(Counter::kFaultAroundMapped);
+    ++mapped_count;
+    --budget;
+    if (is_above) {
+      above += kPageSize;
+      above_open = above < window.end;
+    } else {
+      below = va;
+      below_open = below > window.start;
+    }
+  }
+  return mapped_count;
+}
+
+VoidResult VmSpace::HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access access,
+                                      uint64_t* around_budget) {
   CountEvent(Counter::kPageFaults);
   space_.NoteCpuActive(CurrentCpu());
   Status status = cursor.Query(page_va);
@@ -521,7 +620,14 @@ VoidResult VmSpace::HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access acc
       }
     }
   }
-  return FaultInPage(cursor, page_va, status, access);
+  VoidResult resolved = FaultInPage(cursor, page_va, status, access);
+  if (resolved.ok() && status.tag == StatusTag::kPrivateAnon &&
+      around_budget != nullptr && *around_budget > 0) {
+    // Demand-zero resolved: speculatively map cold neighbours in the same
+    // transaction, under the subtree lock this cursor already holds.
+    *around_budget -= FaultAround(cursor, page_va, status, *around_budget);
+  }
+  return resolved;
 }
 
 // ---------------------------------------------------------------------------

@@ -90,10 +90,24 @@ class VmSpace {
  private:
   // Fault resolution inside an existing transaction (|cursor| must cover the
   // faulting page). The huge-page rung only fires when the cursor also covers
-  // the surrounding 2 MiB slot.
-  VoidResult HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access access);
+  // the surrounding 2 MiB slot. |around_budget|, when non-null, allows the
+  // demand-zero arm to fault-around: map up to *around_budget extra
+  // neighbouring pages (decremented in place — a fused batch shares one
+  // budget across its faults). The budget must have been obtained OUTSIDE
+  // the transaction (MemPressureGovernor::FaultAroundBudget's contract).
+  VoidResult HandleFaultLocked(RCursor& cursor, Vaddr page_va, Access access,
+                               uint64_t* around_budget = nullptr);
   VoidResult FaultInPage(RCursor& cursor, Vaddr page_va, const Status& status,
                          Access access);
+  // Maps up to |budget| additional not-present demand-zero pages around
+  // |fault_va| inside the aligned fault-around window (clamped to what
+  // |cursor| locked), stopping at the first page whose status differs from
+  // the faulting page's. Returns the number mapped.
+  uint64_t FaultAround(RCursor& cursor, Vaddr fault_va, const Status& status,
+                       uint64_t budget);
+  // options().fault_around_pages sanitized: 0 when disabled, otherwise a
+  // power of two in [2, 512] — so the window never crosses a 2 MiB slot.
+  uint32_t FaultAroundPages() const;
   // Huge-page policy (options().huge_pages): tries to resolve an anon fault by
   // installing a 2 MiB leaf over |huge_range| (which |cursor| must cover).
   // Returns true if the leaf was installed; false means "take the 4 KiB path"

@@ -25,6 +25,10 @@ const char* FaultSiteName(FaultSite site) {
       return "swap_dev_write";
     case FaultSite::kSwapDevRead:
       return "swap_dev_read";
+    case FaultSite::kMagazineRefill:
+      return "magazine_refill";
+    case FaultSite::kPreScrub:
+      return "prescrub";
     case FaultSite::kSiteCount:
       break;
   }

@@ -39,6 +39,10 @@ enum class FaultSite : int {
                           // write error) — mid-eviction rollback coverage.
   kSwapDevRead,           // SwapDevice::ReadBlock fails (transient IO error)
                           // — swap-in fault paths must surface it cleanly.
+  kMagazineRefill,        // Per-CPU magazine refill (depot or buddy) fails —
+                          // the fault path must roll back cleanly to kNoMem.
+  kPreScrub,              // A pre-scrub batch aborts; the frames stay dirty
+                          // and faults must fall back to inline zeroing.
   kSiteCount,
 };
 

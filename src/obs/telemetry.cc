@@ -75,6 +75,8 @@ const char* BatchStatName(BatchStat stat) {
       return "ring_ops_per_drain";
     case BatchStat::kRingOpsPerFusedTxn:
       return "ring_ops_per_fused_txn";
+    case BatchStat::kMagOccupancy:
+      return "mag_occupancy";
     case BatchStat::kCount:
       break;
   }
@@ -136,19 +138,27 @@ double CalibrateTscNsPerTick() {
 
 namespace obs_detail {
 
-std::atomic<double> g_tsc_ns_per_tick{0.0};
+std::atomic<uint64_t> g_tsc_ns_mul24{0};
 
 uint64_t SlowNowNanos() {
 #if defined(__x86_64__)
   static std::once_flag calibrated;
   std::call_once(calibrated, [] {
     double r = CalibrateTscNsPerTick();
-    g_tsc_ns_per_tick.store(r > 0 ? r : -1.0, std::memory_order_relaxed);
+    if (r > 0) {
+      g_tsc_ns_mul24.store(static_cast<uint64_t>(r * (1 << 24)),
+                           std::memory_order_relaxed);
+    }
   });
-  double r = g_tsc_ns_per_tick.load(std::memory_order_relaxed);
-  if (r > 0) {
+  // Use the same 40.24 fixed-point conversion as the TelemetryNowNanos fast
+  // path — not the double ratio it was derived from. The truncated multiplier
+  // lags the double by up to ~6e-8 ns/tick, which at boot-scale TSC values is
+  // hundreds of microseconds: timestamps from the two formulas would not be
+  // mutually monotonic, and trace merging relies on one shared clock.
+  uint64_t m = g_tsc_ns_mul24.load(std::memory_order_relaxed);
+  if (m != 0) {
     return static_cast<uint64_t>(
-        static_cast<double>(__builtin_ia32_rdtsc()) * r);
+        (static_cast<unsigned __int128>(__builtin_ia32_rdtsc()) * m) >> 24);
   }
 #endif
   return SteadyNanos();
@@ -193,9 +203,10 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
   for (int b = 0; b < kLatencyBuckets; ++b) {
     uint64_t n = counts[b];
     if (cumulative + n >= rank) {
-      // Interpolate linearly inside the bucket. Bucket 0 spans [0, 2).
-      uint64_t lower = b == 0 ? 0 : LatencyHistogram::BucketLowerBound(b);
-      uint64_t width = b == 0 ? 2 : LatencyHistogram::BucketLowerBound(b);
+      // Interpolate linearly inside the bucket (log-linear buckets: the width
+      // is the gap to the next lower bound, not the lower bound itself).
+      uint64_t lower = LatencyHistogram::BucketLowerBound(b);
+      uint64_t width = LatencyHistogram::BucketLowerBound(b + 1) - lower;
       double frac = n == 0 ? 0
                            : static_cast<double>(rank - cumulative) /
                                  static_cast<double>(n);
@@ -226,6 +237,37 @@ uint64_t LatencyHistogram::TotalCount() const {
 // TraceRing
 // ---------------------------------------------------------------------------
 
+TraceRing::~TraceRing() {
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    delete[] cpus_[cpu].value.events.load(std::memory_order_relaxed);
+  }
+}
+
+TraceEvent* TraceRing::AllocateBuffer(Cpu& c) {
+  uint64_t cap = Capacity();
+  TraceEvent* buf = new TraceEvent[cap];
+  c.cap = cap;
+  TraceEvent* expected = nullptr;
+  if (c.events.compare_exchange_strong(expected, buf, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return buf;
+  }
+  // A thread sharing this CPU id published first (same capacity — resizes
+  // are quiescent-only); use its buffer.
+  delete[] buf;
+  return expected;
+}
+
+void TraceRing::SetCapacity(uint64_t capacity) {
+  capacity_.store(std::max<uint64_t>(capacity, 1), std::memory_order_relaxed);
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    Cpu& c = cpus_[cpu].value;
+    delete[] c.events.exchange(nullptr, std::memory_order_acq_rel);
+    c.cap = 0;
+    c.head.store(0, std::memory_order_relaxed);
+  }
+}
+
 uint64_t TraceRing::Recorded() const {
   uint64_t total = 0;
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
@@ -237,9 +279,10 @@ uint64_t TraceRing::Recorded() const {
 uint64_t TraceRing::Dropped() const {
   uint64_t dropped = 0;
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    uint64_t head = cpus_[cpu].value.head.load(std::memory_order_relaxed);
-    if (head > kCapacity) {
-      dropped += head - kCapacity;
+    const Cpu& c = cpus_[cpu].value;
+    uint64_t head = c.head.load(std::memory_order_relaxed);
+    if (c.events.load(std::memory_order_acquire) != nullptr && head > c.cap) {
+      dropped += head - c.cap;
     }
   }
   return dropped;
@@ -248,14 +291,15 @@ uint64_t TraceRing::Dropped() const {
 std::vector<TraceRing::CpuStats> TraceRing::PerCpuStats() const {
   std::vector<CpuStats> stats;
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    uint64_t head = cpus_[cpu].value.head.load(std::memory_order_relaxed);
-    if (head == 0) {
+    const Cpu& c = cpus_[cpu].value;
+    uint64_t head = c.head.load(std::memory_order_relaxed);
+    if (head == 0 || c.events.load(std::memory_order_acquire) == nullptr) {
       continue;
     }
     CpuStats s;
     s.cpu = cpu;
     s.recorded = head;
-    s.dropped = head > kCapacity ? head - kCapacity : 0;
+    s.dropped = head > c.cap ? head - c.cap : 0;
     stats.push_back(s);
   }
   return stats;
@@ -265,10 +309,14 @@ std::vector<TraceEvent> TraceRing::MergeSorted() const {
   std::vector<TraceEvent> merged;
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
     const Cpu& c = cpus_[cpu].value;
+    const TraceEvent* buf = c.events.load(std::memory_order_acquire);
+    if (buf == nullptr) {
+      continue;
+    }
     uint64_t head = c.head.load(std::memory_order_acquire);
-    uint64_t live = std::min(head, kCapacity);
+    uint64_t live = std::min(head, c.cap);
     for (uint64_t i = head - live; i < head; ++i) {
-      merged.push_back(c.events[i % kCapacity]);
+      merged.push_back(buf[i % c.cap]);
     }
   }
   std::sort(merged.begin(), merged.end(),
@@ -493,7 +541,16 @@ std::string BuildConfig::Json() {
 // TelemetrySink
 // ---------------------------------------------------------------------------
 
-TelemetrySink::TelemetrySink(const std::string& bench_name) : bench_name_(bench_name) {}
+TelemetrySink::TelemetrySink(const std::string& bench_name, uint64_t trace_capacity)
+    : bench_name_(bench_name) {
+#if CORTENMM_TELEMETRY
+  if (trace_capacity > 0) {
+    Telemetry::Instance().trace().SetCapacity(trace_capacity);
+  }
+#else
+  (void)trace_capacity;
+#endif
+}
 
 TelemetrySink::~TelemetrySink() {
   if (!written_) {

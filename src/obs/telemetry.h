@@ -72,6 +72,7 @@ enum class BatchStat : int {
   kRingSqDepth,          // Per-CPU submission-ring occupancy at drain collect.
   kRingOpsPerDrain,      // Ops one flat-combining drain pass collected.
   kRingOpsPerFusedTxn,   // Ops fused into one RCursor transaction.
+  kMagOccupancy,         // Per-CPU frame-magazine occupancy after a hit.
   kCount,
 };
 
@@ -93,8 +94,12 @@ enum class TraceKind : int {
 const char* TraceKindName(TraceKind kind);
 
 namespace obs_detail {
-// TSC→ns multiplier: 0 until calibrated, negative when the TSC is unusable.
-extern std::atomic<double> g_tsc_ns_per_tick;
+// TSC→ns ratio as 40.24 fixed point (ns = tsc * mul >> 24), 0 until
+// calibrated (or forever, when the TSC is unusable): the fast path costs one
+// 128-bit multiply and a shift instead of two int<->double conversions. Every
+// timestamp — fast or slow path — comes from this one multiplier, so all
+// recorded times share a single monotonic clock.
+extern std::atomic<uint64_t> g_tsc_ns_mul24;
 // Calibrates on first call; steady_clock when the TSC is unusable.
 uint64_t SlowNowNanos();
 }  // namespace obs_detail
@@ -104,18 +109,29 @@ uint64_t SlowNowNanos();
 // probes call this twice per timed section.
 inline uint64_t TelemetryNowNanos() {
 #if defined(__x86_64__)
-  double r = obs_detail::g_tsc_ns_per_tick.load(std::memory_order_relaxed);
-  if (r > 0) {
+  uint64_t m = obs_detail::g_tsc_ns_mul24.load(std::memory_order_relaxed);
+  if (m != 0) {
     return static_cast<uint64_t>(
-        static_cast<double>(__builtin_ia32_rdtsc()) * r);
+        (static_cast<unsigned __int128>(__builtin_ia32_rdtsc()) * m) >> 24);
   }
 #endif
   return obs_detail::SlowNowNanos();
 }
 
-// Number of log2 buckets: bucket b holds samples in [2^b, 2^(b+1)) ns
-// (bucket 0 also absorbs 0 ns); 2^47 ns ≈ 39 hours tops out any latency.
-inline constexpr int kLatencyBuckets = 48;
+// Log-linear bucketing (HdrHistogram style): every power-of-two octave is
+// split into kLatencySubBuckets linear sub-buckets, so relative resolution is
+// 1/kLatencySubBuckets (12.5%) at any magnitude — enough to resolve a 1.5x
+// latency gate, which pure log2 buckets (100% resolution) cannot: two
+// distributions whose medians differ by less than 2x can land in the same
+// octave and report near-identical interpolated percentiles. Values below
+// kLatencySubBuckets get one bucket each (exact). Octave 47 (2^47 ns ≈ 39
+// hours) tops out any latency.
+inline constexpr int kLatencySubBucketBits = 3;
+inline constexpr int kLatencySubBuckets = 1 << kLatencySubBucketBits;
+inline constexpr int kLatencyMaxOctave = 47;
+inline constexpr int kLatencyBuckets =
+    kLatencySubBuckets * (kLatencyMaxOctave - kLatencySubBucketBits) +
+    2 * kLatencySubBuckets;
 
 #if CORTENMM_TELEMETRY
 
@@ -142,9 +158,27 @@ class LatencyHistogram {
   static constexpr int kBuckets = kLatencyBuckets;
 
   static int BucketFor(uint64_t ns) {
-    return ns < 2 ? 0 : std::min(63 - __builtin_clzll(ns), kBuckets - 1);
+    if (ns < static_cast<uint64_t>(kLatencySubBuckets)) {
+      return static_cast<int>(ns);
+    }
+    int msb = 63 - __builtin_clzll(ns);
+    if (msb > kLatencyMaxOctave) {
+      return kBuckets - 1;
+    }
+    int shift = msb - kLatencySubBucketBits;
+    // (ns >> shift) is in [kSub, 2*kSub): the leading bit plus the next
+    // kLatencySubBucketBits bits select the sub-bucket within the octave.
+    return (shift << kLatencySubBucketBits) + static_cast<int>(ns >> shift);
   }
-  static uint64_t BucketLowerBound(int bucket) { return 1ull << bucket; }
+  static uint64_t BucketLowerBound(int bucket) {
+    if (bucket < 2 * kLatencySubBuckets) {
+      return static_cast<uint64_t>(bucket);
+    }
+    int shift = (bucket >> kLatencySubBucketBits) - 1;
+    uint64_t sub = static_cast<uint64_t>(bucket) -
+                   (static_cast<uint64_t>(shift) << kLatencySubBucketBits);
+    return sub << shift;
+  }
 
   void Record(uint64_t ns) {
     counts_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
@@ -186,23 +220,44 @@ struct TraceEvent {
   uint64_t arg1 = 0;
 };
 
-// Per-CPU fixed-capacity ring. Overwrites the oldest events when full and
-// counts how many were lost; MergeSorted() returns the surviving events of
-// all CPUs ordered by timestamp.
+// Per-CPU ring with runtime-configurable capacity. Overwrites the oldest
+// events when full and counts how many were lost; MergeSorted() returns the
+// surviving events of all CPUs ordered by timestamp. Buffers are allocated
+// lazily on each CPU's first Record, so idle CPUs cost 0 bytes at any size.
 class TraceRing {
  public:
-  static constexpr uint64_t kCapacity = 1024;  // Per CPU.
+  // Default per-CPU capacity — 16x the original 1024, because the measured
+  // >90% drop rate under bench load was first a capacity problem. Benches
+  // that need more pass a capacity to TelemetrySink, which lands here via
+  // SetCapacity.
+  static constexpr uint64_t kCapacity = 16384;  // Per CPU.
+
+  TraceRing() = default;
+  ~TraceRing();
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
 
   void Record(TraceKind kind, uint64_t arg0, uint64_t arg1) {
     Cpu& c = cpus_[CurrentCpu() % kMaxCpus].value;
+    TraceEvent* buf = c.events.load(std::memory_order_acquire);
+    if (buf == nullptr) {
+      buf = AllocateBuffer(c);
+    }
     uint64_t slot = c.head.fetch_add(1, std::memory_order_relaxed);
-    TraceEvent& e = c.events[slot % kCapacity];
+    TraceEvent& e = buf[slot % c.cap];
     e.ns = TelemetryNowNanos();
     e.cpu = static_cast<uint32_t>(CurrentCpu());
     e.kind = kind;
     e.arg0 = arg0;
     e.arg1 = arg1;
   }
+
+  uint64_t Capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+  // Resizes the per-CPU rings. Quiescent-only (no concurrent Record): frees
+  // every existing buffer and zeroes the heads, so each CPU's next Record
+  // allocates at the new size. Values are clamped to at least 1.
+  void SetCapacity(uint64_t capacity);
 
   // Total events ever recorded / lost to overwriting, across all CPUs.
   uint64_t Recorded() const;
@@ -224,9 +279,17 @@ class TraceRing {
 
  private:
   struct Cpu {
-    std::atomic<uint64_t> head{0};  // Total records; head % kCapacity = next slot.
-    TraceEvent events[kCapacity];
+    std::atomic<uint64_t> head{0};  // Total records; head % cap = next slot.
+    std::atomic<TraceEvent*> events{nullptr};  // Lazy buffer of |cap| slots.
+    uint64_t cap = 0;  // Valid once events is non-null.
   };
+
+  // Publishes a buffer for |c| (first Record on this CPU). Two threads
+  // sharing a CPU id race benignly: CAS picks a winner, the loser frees its
+  // attempt and uses the winner's buffer.
+  TraceEvent* AllocateBuffer(Cpu& c);
+
+  std::atomic<uint64_t> capacity_{kCapacity};
   CacheAligned<Cpu> cpus_[kMaxCpus];
 };
 
@@ -381,6 +444,8 @@ class TraceRing {
  public:
   static constexpr uint64_t kCapacity = 0;
   void Record(TraceKind, uint64_t, uint64_t) {}
+  uint64_t Capacity() const { return 0; }
+  void SetCapacity(uint64_t) {}
   uint64_t Recorded() const { return 0; }
   uint64_t Dropped() const { return 0; }
   struct CpuStats {
@@ -455,7 +520,11 @@ class BuildConfig {
 // a result can never be mistaken for one produced under different flags.
 class TelemetrySink {
  public:
-  explicit TelemetrySink(const std::string& bench_name);
+  // |trace_capacity| > 0 resizes the per-CPU trace rings for the bench's
+  // lifetime (TraceRing::SetCapacity); 0 keeps the current size. Benches
+  // whose smoke output warns about trace drop rates raise this.
+  explicit TelemetrySink(const std::string& bench_name,
+                         uint64_t trace_capacity = 0);
   ~TelemetrySink();  // Writes the file.
 
   // Captures the current Telemetry state under |label| and resets it so the

@@ -1,13 +1,21 @@
 #include "src/pmm/buddy.h"
 
 #include <cassert>
+#include <sstream>
 
 #include "src/common/stats.h"
 #include "src/fault/fault_inject.h"
+#include "src/obs/telemetry.h"
 #include "src/pmm/page_desc.h"
 #include "src/pmm/phys_mem.h"
 
 namespace cortenmm {
+
+namespace {
+// Magazine-occupancy histogram sample tick, 1-in-32 like the lock sampler but
+// on its own counter so it never perturbs the acquisition-sampling cadence.
+thread_local uint32_t mag_occupancy_tick = 0;
+}  // namespace
 
 BuddyAllocator& BuddyAllocator::Instance() {
   static BuddyAllocator buddy;
@@ -43,6 +51,9 @@ BuddyAllocator::BuddyAllocator() {
   // Default watermarks scale with the machine; reclaim or tests may override.
   low_watermark_.store(total_frames_ / 16, std::memory_order_relaxed);
   min_watermark_.store(total_frames_ / 64, std::memory_order_relaxed);
+
+  Telemetry::Instance().AddJsonSection(
+      "faultpath", [] { return BuddyAllocator::Instance().DumpFaultpathJson(); });
 }
 
 void BuddyAllocator::PushFree(Pfn pfn, int order) {
@@ -106,6 +117,9 @@ Result<Pfn> BuddyAllocator::AllocBlockLocked(int order) {
 
 void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
   PhysMem& mem = PhysMem::Instance();
+  // A block on a free list is never pre-zeroed: split/coalesce would leave
+  // the flag on the wrong head otherwise.
+  mem.Descriptor(pfn).zeroed.store(false, std::memory_order_relaxed);
   // The freed→kFree transition happens here, under lock_: typing the frames
   // free before holding the lock would open a window where they are marked
   // free but still reachable (and not yet on any free list). Every frame of
@@ -134,21 +148,196 @@ void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
   PushFree(pfn, order);
 }
 
-Result<Pfn> BuddyAllocator::AllocBlock(int order) {
+void BuddyAllocator::FlushMagazineLocked(const Magazine& mag, int order) {
+  // Parked blocks are accounted allocated, so FreeBlockLocked's per-block
+  // fetch_add is exactly the batch-boundary counter update.
+  for (uint32_t b = 0; b < mag.count; ++b) {
+    FreeBlockLocked(mag.pfns[b], order);
+  }
+}
+
+void BuddyAllocator::PushDepotOrFlush(int order, const Magazine& mag) {
+  if (mag.count == 0) {
+    return;
+  }
+  CountEvent(Counter::kMagFlushes);
+  bool pushed = false;
+  {
+    Depot& depot = depots_[order];
+    SpinGuard guard(depot.lock);
+    if (depot.clean.size() + depot.dirty.size() < DepotMaxMags(order)) {
+      depot.dirty.push_back(mag);
+      pushed = true;
+    }
+  }
+  if (pushed) {
+    // A dirty magazine just became scrubbable; wake the pre-scrubber.
+    if (ScrubHook hook = scrub_hook_.load(std::memory_order_acquire)) {
+      hook();
+    }
+    return;
+  }
+  // Depot full: return the whole magazine under one global-lock acquisition.
+  CountEvent(Counter::kBuddyLockAcquisitions);
+  SpinGuard guard(lock_);
+  FlushMagazineLocked(mag, order);
+}
+
+Result<Pfn> BuddyAllocator::AllocRaw(int order, bool* prezeroed, bool* mag_hit) {
+  PhysMem& mem = PhysMem::Instance();
+  if (prezeroed) {
+    *prezeroed = false;
+  }
+  if (mag_hit) {
+    *mag_hit = false;
+  }
+  if (!MagazinesEnabled()) {
+    CountEvent(Counter::kBuddyLockAcquisitions);
+    SpinGuard guard(lock_);
+    return AllocBlockLocked(order);
+  }
+  const uint32_t cap = MagCapacity(order);
+  CpuMags& cm = cpu_mags_[CurrentCpu()].value;
+  Pfn pfn = kInvalidPfn;
+  uint32_t occupancy = 0;
+  {
+    SpinGuard guard(cm.lock);
+    Magazine& mag = cm.mags[order];
+    if (mag.count > 0) {
+      pfn = mag.pfns[--mag.count];
+      occupancy = mag.count;
+    }
+  }
+  if (pfn != kInvalidPfn) {
+    CountEvent(Counter::kMagHits);
+    if (mag_hit) {
+      *mag_hit = true;
+    }
+    if ((++mag_occupancy_tick & 31u) == 0) {
+      Telemetry::Instance().RecordBatch(BatchStat::kMagOccupancy, occupancy);
+    }
+  } else {
+    // Magazine empty: swap in a whole one from the depot, or build one under
+    // a single global-lock acquisition.
+    if (FaultInjector::Instance().ShouldFail(FaultSite::kMagazineRefill)) {
+      return ErrCode::kNoMem;
+    }
+    Magazine full;
+    bool from_depot = false;
+    {
+      Depot& depot = depots_[order];
+      SpinGuard guard(depot.lock);
+      if (!depot.clean.empty()) {
+        full = depot.clean.back();
+        depot.clean.pop_back();
+        from_depot = true;
+      } else if (!depot.dirty.empty()) {
+        full = depot.dirty.back();
+        depot.dirty.pop_back();
+        from_depot = true;
+      }
+    }
+    if (!from_depot) {
+      CountEvent(Counter::kBuddyLockAcquisitions);
+      {
+        SpinGuard guard(lock_);
+        while (full.count < cap) {
+          Result<Pfn> r = AllocBlockLocked(order);
+          if (!r.ok()) {
+            break;
+          }
+          full.pfns[full.count++] = *r;
+        }
+      }
+      if (full.count == 0) {
+        return ErrCode::kNoMem;
+      }
+      // Retype outside lock_ — nothing else can reach these blocks yet.
+      for (uint32_t b = 0; b < full.count; ++b) {
+        for (uint64_t f = 0; f < (1ull << order); ++f) {
+          mem.Descriptor(full.pfns[b] + f)
+              .type.store(FrameType::kCached, std::memory_order_relaxed);
+        }
+      }
+    }
+    CountEvent(Counter::kMagRefills);
+    pfn = full.pfns[--full.count];
+    if (full.count > 0) {
+      SpinGuard guard(cm.lock);
+      Magazine& mag = cm.mags[order];
+      // A thread sharing this CPU id may have refilled meanwhile; merge what
+      // fits and spill the rest.
+      while (full.count > 0 && mag.count < cap) {
+        mag.pfns[mag.count++] = full.pfns[--full.count];
+      }
+    }
+    if (full.count > 0) {
+      PushDepotOrFlush(order, full);
+    }
+  }
+  // Consume the pre-scrub flag before the caller resets the descriptor.
+  // Load-then-store, not exchange: the block is exclusively ours once it
+  // leaves the magazine, so no atomic RMW is needed; the acquire load pairs
+  // with the scrubber's release store to make the zeroed bytes visible.
+  PageDescriptor& head = mem.Descriptor(pfn);
+  if (head.zeroed.load(std::memory_order_acquire)) {
+    head.zeroed.store(false, std::memory_order_relaxed);
+    if (prezeroed) {
+      *prezeroed = true;
+    }
+  }
+  // No free_frames_ update: parked blocks are accounted allocated, so the
+  // counter moved when the magazine was filled, not per block.
+  return pfn;
+}
+
+void BuddyAllocator::FreeRaw(Pfn pfn, int order) {
+  PhysMem& mem = PhysMem::Instance();
+  // Whatever the caller did to the contents, they are dirty now.
+  mem.Descriptor(pfn).zeroed.store(false, std::memory_order_relaxed);
+  if (!MagazinesEnabled()) {
+    CountEvent(Counter::kBuddyLockAcquisitions);
+    SpinGuard guard(lock_);
+    FreeBlockLocked(pfn, order);
+    return;
+  }
+  CpuMags& cm = cpu_mags_[CurrentCpu()].value;
+  Magazine overflow;
+  {
+    SpinGuard guard(cm.lock);
+    Magazine& mag = cm.mags[order];
+    if (mag.count >= MagCapacity(order)) {
+      overflow = mag;
+      mag.count = 0;
+    }
+    // Parked, not free: the WHOLE block is typed under the magazine lock so
+    // the transition is atomic with becoming reachable from the magazine, and
+    // as kCached (not kFree) so the leak checker can tell the difference.
+    for (uint64_t f = 0; f < (1ull << order); ++f) {
+      mem.Descriptor(pfn + f).type.store(FrameType::kCached,
+                                         std::memory_order_relaxed);
+    }
+    mag.pfns[mag.count++] = pfn;
+  }
+  // No free_frames_ update: parking keeps the block accounted allocated until
+  // a flush returns it to the free lists (batch-boundary accounting).
+  if (overflow.count > 0) {
+    PushDepotOrFlush(order, overflow);
+  }
+}
+
+Result<Pfn> BuddyAllocator::AllocBlock(int order, FrameType type) {
   assert(order >= 0 && order <= kMaxOrder);
   if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocBlock)) {
     return ErrCode::kNoMem;
   }
-  Result<Pfn> result = [&] {
-    SpinGuard guard(lock_);
-    return AllocBlockLocked(order);
-  }();
+  Result<Pfn> result = AllocRaw(order, nullptr, nullptr);
   if (result.ok()) {
     // Reset every frame, not just the head: each descriptor in the run must
     // carry live type/refcount state or the run cannot be reclaimed
     // frame-by-frame after a split.
     for (uint64_t f = 0; f < (1ull << order); ++f) {
-      PhysMem::Instance().Descriptor(*result + f).ResetForAlloc(FrameType::kKernel);
+      PhysMem::Instance().Descriptor(*result + f).ResetForAlloc(type);
     }
     CountEvent(Counter::kFramesAllocated, 1ull << order);
     NotePressure();
@@ -156,7 +345,13 @@ Result<Pfn> BuddyAllocator::AllocBlock(int order) {
   return result;
 }
 
-Result<Pfn> BuddyAllocator::AllocHugeRun() {
+void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
+  assert(order >= 0 && order <= kMaxOrder);
+  CountEvent(Counter::kFramesFreed, 1ull << order);
+  FreeRaw(pfn, order);
+}
+
+Result<Pfn> BuddyAllocator::AllocHugeRun(bool* prezeroed, FrameType type) {
   // Same injection site as AllocBlock: chaos schedules that starve block
   // allocation starve huge fault-in too, which is exactly the fallback
   // ladder the policy layer must survive.
@@ -164,158 +359,214 @@ Result<Pfn> BuddyAllocator::AllocHugeRun() {
     CountEvent(Counter::kHugeAllocFailures);
     return ErrCode::kNoMem;
   }
-  PhysMem& mem = PhysMem::Instance();
-  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
-  Pfn head = kInvalidPfn;
-  {
-    SpinGuard guard(cache.lock);
-    if (!cache.huge_runs.empty()) {
-      head = cache.huge_runs.back();
-      cache.huge_runs.pop_back();
-    }
+  bool was_zeroed = false;
+  bool mag_hit = false;
+  Result<Pfn> r = AllocRaw(static_cast<int>(kHugeOrder), &was_zeroed, &mag_hit);
+  if (!r.ok()) {
+    CountEvent(Counter::kHugeAllocFailures);
+    return r;
   }
-  if (head != kInvalidPfn) {
+  if (mag_hit) {
     CountEvent(Counter::kHugeCacheHits);
-  } else {
-    Result<Pfn> r = [&] {
-      SpinGuard guard(lock_);
-      return AllocBlockLocked(static_cast<int>(kHugeOrder));
-    }();
-    if (!r.ok()) {
-      CountEvent(Counter::kHugeAllocFailures);
-      return r;
-    }
-    head = *r;
   }
+  PhysMem& mem = PhysMem::Instance();
   for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
-    mem.Descriptor(head + f).ResetForAlloc(FrameType::kKernel);
+    mem.Descriptor(*r + f).ResetForAlloc(type);
+  }
+  if (prezeroed) {
+    *prezeroed = was_zeroed;
+    if (was_zeroed) {
+      CountEvent(Counter::kPrezeroHits, 1ull << kHugeOrder);
+    }
   }
   CountEvent(Counter::kHugeAllocs);
   CountEvent(Counter::kFramesAllocated, 1ull << kHugeOrder);
   NotePressure();
-  return head;
+  return r;
 }
 
 void BuddyAllocator::FreeHugeRun(Pfn head) {
   assert(IsAligned(head, 1ull << kHugeOrder));
   CountEvent(Counter::kHugeFrees);
   CountEvent(Counter::kFramesFreed, 1ull << kHugeOrder);
-  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
-  {
-    SpinGuard guard(cache.lock);
-    if (cache.huge_runs.size() < kHugeCacheMax) {
-      // Parked, not free — and the WHOLE run is typed kCached, so no tail
-      // frame keeps a live-looking type while sitting in the cache.
-      for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
-        PhysMem::Instance().Descriptor(head + f).type.store(FrameType::kCached,
-                                                            std::memory_order_relaxed);
-      }
-      cache.huge_runs.push_back(head);
-      return;
-    }
-  }
-  SpinGuard guard(lock_);
-  FreeBlockLocked(head, static_cast<int>(kHugeOrder));
+  FreeRaw(head, static_cast<int>(kHugeOrder));
 }
 
-void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
-  assert(order >= 0 && order <= kMaxOrder);
-  CountEvent(Counter::kFramesFreed, 1ull << order);
-  SpinGuard guard(lock_);
-  FreeBlockLocked(pfn, order);
-}
-
-Result<Pfn> BuddyAllocator::AllocFrame() {
+Result<Pfn> BuddyAllocator::AllocFrame(FrameType type) {
   if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocFrame)) {
     return ErrCode::kNoMem;
   }
-  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
-  {
-    SpinGuard guard(cache.lock);
-    if (!cache.frames.empty()) {
-      Pfn pfn = cache.frames.back();
-      cache.frames.pop_back();
-      PhysMem::Instance().Descriptor(pfn).ResetForAlloc(FrameType::kKernel);
-      CountEvent(Counter::kFramesAllocated);
-      NotePressure();
-      return pfn;
-    }
+  Result<Pfn> r = AllocRaw(0, nullptr, nullptr);
+  if (r.ok()) {
+    PhysMem::Instance().Descriptor(*r).ResetForAlloc(type);
+    CountEvent(Counter::kFramesAllocated);
+    NotePressure();
   }
-  // Refill the cache in one batch, then retry.
-  std::vector<Pfn> batch;
-  batch.reserve(kCacheBatch);
-  {
-    SpinGuard guard(lock_);
-    for (int i = 0; i < kCacheBatch; ++i) {
-      Result<Pfn> r = AllocBlockLocked(0);
-      if (!r.ok()) {
-        break;
-      }
-      batch.push_back(*r);
-    }
-  }
-  if (batch.empty()) {
-    return ErrCode::kNoMem;
-  }
-  Pfn pfn = batch.back();
-  batch.pop_back();
-  {
-    SpinGuard guard(cache.lock);
-    cache.frames.insert(cache.frames.end(), batch.begin(), batch.end());
-  }
-  PhysMem::Instance().Descriptor(pfn).ResetForAlloc(FrameType::kKernel);
-  CountEvent(Counter::kFramesAllocated);
-  NotePressure();
-  return pfn;
+  return r;
 }
 
-Result<Pfn> BuddyAllocator::AllocZeroedFrame() {
-  Result<Pfn> r = AllocFrame();
-  if (r.ok()) {
+Result<Pfn> BuddyAllocator::AllocZeroedFrame(FrameType type) {
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocFrame)) {
+    return ErrCode::kNoMem;
+  }
+  bool was_zeroed = false;
+  Result<Pfn> r = AllocRaw(0, &was_zeroed, nullptr);
+  if (!r.ok()) {
+    return r;
+  }
+  PhysMem::Instance().Descriptor(*r).ResetForAlloc(type);
+  if (was_zeroed) {
+    // The pre-scrubber already zeroed this frame off the critical path.
+    CountEvent(Counter::kPrezeroHits);
+  } else {
     PhysMem::Instance().ZeroFrame(*r);
   }
+  CountEvent(Counter::kFramesAllocated);
+  NotePressure();
   return r;
 }
 
 void BuddyAllocator::FreeFrame(Pfn pfn) {
   CountEvent(Counter::kFramesFreed);
-  CpuCache& cache = cpu_caches_[CurrentCpu()].value;
-  {
-    SpinGuard guard(cache.lock);
-    if (cache.frames.size() < kCacheMax) {
-      // Parked, not free: the frame is typed under the cache lock so the
-      // transition is atomic with becoming reachable from the cache, and as
-      // kCached (not kFree) so the leak checker can tell the difference.
-      PhysMem::Instance().Descriptor(pfn).type.store(FrameType::kCached,
-                                                     std::memory_order_relaxed);
-      cache.frames.push_back(pfn);
-      return;
-    }
+  FreeRaw(pfn, 0);
+}
+
+void BuddyAllocator::SetMagazinesEnabled(bool enabled) {
+  // Toggling is a quiesced operation (benches, tests): a racing free that
+  // sampled the old value may still park one block, which the next flush
+  // collects — nothing is lost, only deferred.
+  bool was = magazines_enabled_.exchange(enabled, std::memory_order_acq_rel);
+  if (was && !enabled) {
+    FlushCpuCaches();
   }
-  SpinGuard guard(lock_);
-  FreeBlockLocked(pfn, 0);
 }
 
 void BuddyAllocator::FlushCpuCaches() {
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    CpuCache& cache = cpu_caches_[cpu].value;
-    std::vector<Pfn> drained;
-    std::vector<Pfn> drained_huge;
+    CpuMags& cm = cpu_mags_[cpu].value;
+    Magazine taken[kMaxOrder + 1];
+    bool any = false;
     {
-      SpinGuard guard(cache.lock);
-      drained.swap(cache.frames);
-      drained_huge.swap(cache.huge_runs);
-    }
-    if (!drained.empty() || !drained_huge.empty()) {
-      SpinGuard guard(lock_);
-      for (Pfn pfn : drained) {
-        FreeBlockLocked(pfn, 0);
+      SpinGuard guard(cm.lock);
+      for (int order = 0; order <= kMaxOrder; ++order) {
+        if (cm.mags[order].count > 0) {
+          taken[order] = cm.mags[order];
+          cm.mags[order].count = 0;
+          any = true;
+        }
       }
-      for (Pfn head : drained_huge) {
-        FreeBlockLocked(head, static_cast<int>(kHugeOrder));
+    }
+    if (any) {
+      CountEvent(Counter::kBuddyLockAcquisitions);
+      SpinGuard guard(lock_);
+      for (int order = 0; order <= kMaxOrder; ++order) {
+        FlushMagazineLocked(taken[order], order);
       }
     }
   }
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    Depot& depot = depots_[order];
+    std::vector<Magazine> all;
+    {
+      SpinGuard guard(depot.lock);
+      all.swap(depot.dirty);
+      all.insert(all.end(), depot.clean.begin(), depot.clean.end());
+      depot.clean.clear();
+    }
+    if (!all.empty()) {
+      CountEvent(Counter::kBuddyLockAcquisitions);
+      SpinGuard guard(lock_);
+      for (const Magazine& mag : all) {
+        FlushMagazineLocked(mag, order);
+      }
+    }
+  }
+}
+
+void BuddyAllocator::DrainMagazines() {
+  CountEvent(Counter::kMagDrains);
+  FlushCpuCaches();
+}
+
+uint64_t BuddyAllocator::ScrubBatch(uint64_t max_frames) {
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kPreScrub)) {
+    // Graceful degradation: the frames stay on the dirty shelf and
+    // demand-zero faults fall back to inline zeroing — nothing to roll back.
+    FaultInjector::NoteSurvived();
+    return 0;
+  }
+  PhysMem& mem = PhysMem::Instance();
+  uint64_t zeroed = 0;
+  for (int order = 0; order <= kMaxOrder && zeroed < max_frames; ++order) {
+    Depot& depot = depots_[order];
+    for (;;) {
+      Magazine mag;
+      {
+        SpinGuard guard(depot.lock);
+        if (depot.dirty.empty()) {
+          break;
+        }
+        mag = depot.dirty.back();
+        depot.dirty.pop_back();
+      }
+      // The magazine is off every shelf: the scrubber owns its blocks
+      // exclusively while zeroing, so no lock is held across the memsets.
+      for (uint32_t b = 0; b < mag.count; ++b) {
+        PageDescriptor& head = mem.Descriptor(mag.pfns[b]);
+        if (head.zeroed.load(std::memory_order_relaxed)) {
+          continue;  // Clean-shelf leftover that cycled back: still zero.
+        }
+        for (uint64_t f = 0; f < (1ull << order); ++f) {
+          mem.ZeroFrame(mag.pfns[b] + f);
+        }
+        head.zeroed.store(true, std::memory_order_release);
+        zeroed += 1ull << order;
+      }
+      {
+        SpinGuard guard(depot.lock);
+        depot.clean.push_back(mag);
+      }
+      if (zeroed >= max_frames) {
+        break;
+      }
+    }
+  }
+  if (zeroed > 0) {
+    CountEvent(Counter::kPrescrubFramesZeroed, zeroed);
+  }
+  return zeroed;
+}
+
+std::string BuddyAllocator::DumpFaultpathJson() {
+  uint64_t clean_mags = 0, dirty_mags = 0, clean_frames = 0, dirty_frames = 0;
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    Depot& depot = depots_[order];
+    SpinGuard guard(depot.lock);
+    clean_mags += depot.clean.size();
+    dirty_mags += depot.dirty.size();
+    for (const Magazine& m : depot.clean) {
+      clean_frames += uint64_t(m.count) << order;
+    }
+    for (const Magazine& m : depot.dirty) {
+      dirty_frames += uint64_t(m.count) << order;
+    }
+  }
+  const StatsDomain& stats = GlobalStats();
+  std::ostringstream os;
+  os << "{\"magazines_enabled\":" << (MagazinesEnabled() ? 1 : 0)
+     << ",\"mag_hits\":" << stats.Total(Counter::kMagHits)
+     << ",\"mag_refills\":" << stats.Total(Counter::kMagRefills)
+     << ",\"mag_flushes\":" << stats.Total(Counter::kMagFlushes)
+     << ",\"mag_drains\":" << stats.Total(Counter::kMagDrains)
+     << ",\"prezero_hits\":" << stats.Total(Counter::kPrezeroHits)
+     << ",\"prescrub_frames_zeroed\":" << stats.Total(Counter::kPrescrubFramesZeroed)
+     << ",\"fault_around_mapped\":" << stats.Total(Counter::kFaultAroundMapped)
+     << ",\"buddy_lock_acquisitions\":" << stats.Total(Counter::kBuddyLockAcquisitions)
+     << ",\"depot_clean_mags\":" << clean_mags
+     << ",\"depot_dirty_mags\":" << dirty_mags
+     << ",\"depot_clean_frames\":" << clean_frames
+     << ",\"depot_dirty_frames\":" << dirty_frames << "}";
+  return os.str();
 }
 
 }  // namespace cortenmm

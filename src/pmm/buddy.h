@@ -1,18 +1,38 @@
 // Binary buddy allocator over the simulated physical memory, following the
 // Linux design the paper adopts (§4.5 "Physical memory management"): power-of-
-// two blocks with split/coalesce, free-list links stored in page descriptors,
-// plus per-CPU order-0 frame caches so hot single-frame allocation (PT pages,
-// anonymous pages) does not contend on the global lists.
+// two blocks with split/coalesce, free-list links stored in page descriptors.
+//
+// The hot allocation paths never touch the global free lists in steady state:
+// every order has a slab-style per-CPU *magazine* (a bounded stack of parked
+// blocks), backed by a global per-order *depot* of full magazines. A magazine
+// miss swaps one whole magazine with the depot; only a depot miss takes the
+// global buddy lock, and then it refills an entire magazine under ONE
+// acquisition. Freed blocks park in the magazine and spill — again a whole
+// magazine at a time — to the depot, where the background pre-scrubber zeroes
+// them so demand-zero faults can skip the inline memset (ScrubBatch /
+// PageDescriptor::zeroed).
+//
+// Accounting: parked blocks count as ALLOCATED, and free_frames_ moves only
+// at magazine-batch boundaries (refill subtracts a whole magazine, flush adds
+// one back) — the same reason Linux folds NR_FREE_PAGES through per-CPU
+// vmstat deltas: a global counter RMW per allocation is the allocator's worst
+// shared-write hot spot once the lock itself is gone. The watermarks
+// therefore see parked frames as consumed (conservative: pressure fires a
+// magazine's worth early, and kswapd's DrainMagazines visibly raises the free
+// count). Parked frames are typed FrameType::kCached so the leak checker can
+// tell a parked frame from a genuinely free or leaked one.
 #ifndef SRC_PMM_BUDDY_H_
 #define SRC_PMM_BUDDY_H_
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/cpu.h"
 #include "src/common/result.h"
 #include "src/common/types.h"
+#include "src/pmm/page_desc.h"
 #include "src/sync/spinlock.h"
 
 namespace cortenmm {
@@ -20,23 +40,32 @@ namespace cortenmm {
 class BuddyAllocator {
  public:
   static constexpr int kMaxOrder = 10;  // Up to 4 MiB blocks.
+  // Slots in a magazine; the per-order capacity (MagCapacity) never exceeds
+  // this. 64 order-0 frames per refill matches the old cache batch x2.
+  static constexpr uint32_t kMagSlots = 64;
 
   static BuddyAllocator& Instance();
 
-  // Allocates a 2^order-frame block; returns the first PFN.
-  Result<Pfn> AllocBlock(int order);
+  // Allocates a 2^order-frame block; returns the first PFN. |type| is what
+  // every descriptor in the block is reset to — callers that know the final
+  // type pass it here so the fault path resets each descriptor exactly once
+  // instead of kKernel-then-retype.
+  Result<Pfn> AllocBlock(int order, FrameType type = FrameType::kKernel);
   void FreeBlock(Pfn pfn, int order);
 
-  // Single-frame fast path through the per-CPU cache.
-  Result<Pfn> AllocFrame();
-  Result<Pfn> AllocZeroedFrame();
+  // Single-frame fast path through the per-CPU magazines. AllocZeroedFrame
+  // consumes a pre-scrubbed frame when one is available (skipping the inline
+  // memset) and zeroes inline otherwise.
+  Result<Pfn> AllocFrame(FrameType type = FrameType::kKernel);
+  Result<Pfn> AllocZeroedFrame(FrameType type = FrameType::kKernel);
   void FreeFrame(Pfn pfn);
 
-  // Order-kHugeOrder (2 MiB) run fast path through a separate per-CPU cache
-  // of whole runs, so huge fault-in does not contend on the global lists any
-  // more than base-page fault-in does. Failure means fragmentation or
-  // exhaustion — the caller's cue to fall back to 4 KiB pages.
-  Result<Pfn> AllocHugeRun();
+  // Order-kHugeOrder (2 MiB) run fast path through the same magazine layer.
+  // Failure means fragmentation or exhaustion — the caller's cue to fall back
+  // to 4 KiB pages. |prezeroed| (optional) reports whether the whole run is
+  // already zero, letting the caller skip its 512-frame zero loop.
+  Result<Pfn> AllocHugeRun(bool* prezeroed = nullptr,
+                           FrameType type = FrameType::kKernel);
   void FreeHugeRun(Pfn head);
 
   uint64_t FreeFrameCount() const { return free_frames_.load(std::memory_order_relaxed); }
@@ -67,18 +96,81 @@ class BuddyAllocator {
     pressure_hook_.store(hook, std::memory_order_release);
   }
 
-  // Returns all per-CPU cached frames to the global lists (for accounting in
-  // tests and memory-overhead benches).
+  // --- Magazine layer -------------------------------------------------------
+  // Kill switch for the whole magazine/depot layer (benches ablate against
+  // the direct global-lock path; reclaim never needs it). Disabling flushes
+  // everything parked back to the free lists first.
+  void SetMagazinesEnabled(bool enabled);
+  bool MagazinesEnabled() const {
+    return magazines_enabled_.load(std::memory_order_acquire);
+  }
+
+  // Returns every parked block — per-CPU magazines and depot shelves — to the
+  // global free lists, so no frame is stranded in a cache. Used by the leak
+  // checker and by reclaim under watermark pressure (DrainMagazines counts
+  // the pressure-driven case).
   void FlushCpuCaches();
+  void DrainMagazines();
+
+  // --- Pre-scrub integration -------------------------------------------------
+  // Zeroes up to |max_frames| frames' worth of dirty depot magazines (whole
+  // magazines at a time, owned exclusively while scrubbing) and moves them to
+  // the clean shelf with their head descriptors' `zeroed` flag set. Returns
+  // the number of frames zeroed; 0 means no dirty magazines (or an injected
+  // kPreScrub fault — frames stay dirty, faults fall back to inline zeroing).
+  uint64_t ScrubBatch(uint64_t max_frames);
+
+  // Fired (outside all buddy locks) whenever a dirty magazine lands in the
+  // depot — the pre-scrubber installs its wakeup here.
+  using ScrubHook = void (*)();
+  void SetScrubHook(ScrubHook hook) {
+    scrub_hook_.store(hook, std::memory_order_release);
+  }
+
+  // "faultpath" telemetry block: magazine/prezero counters plus current depot
+  // occupancy. Registered with Telemetry at construction.
+  std::string DumpFaultpathJson();
 
  private:
-  static constexpr int kCacheBatch = 32;
-  static constexpr int kCacheMax = 64;
-  static constexpr int kHugeCacheMax = 2;  // Runs parked per CPU (4 MiB).
-
   BuddyAllocator();
   BuddyAllocator(const BuddyAllocator&) = delete;
   BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  // A bounded stack of parked 2^order blocks. Moves by value between the
+  // per-CPU slots and the depot shelves so no two locks are ever held at
+  // once (lock order would otherwise be cpu -> depot -> global).
+  struct Magazine {
+    uint32_t count = 0;
+    Pfn pfns[kMagSlots];
+  };
+
+  struct CpuMags {
+    SpinLock lock;  // Normally only touched by its own CPU; the lock makes
+                    // flushes and CPU-id collisions safe.
+    Magazine mags[kMaxOrder + 1];
+  };
+
+  struct Depot {
+    SpinLock lock;
+    std::vector<Magazine> clean;  // Every block pre-zeroed (head zeroed set).
+    std::vector<Magazine> dirty;
+  };
+
+  // Per-order magazine capacity: deep for order 0 (anon pages + PT pages are
+  // the fault path), shallow for huge runs (2 runs = 4 MiB parked per CPU,
+  // matching the old huge cache), modest in between.
+  static constexpr uint32_t MagCapacity(int order) {
+    return order == 0 ? kMagSlots
+           : order >= static_cast<int>(kHugeOrder) ? 2
+                                                   : 8;
+  }
+  // Depot bound (clean + dirty shelves together), in magazines. The order-0
+  // shelf is deep (128 mags = 32 MiB parked on a 1 GiB arena): the corridor
+  // between depot-empty (a global-lock refill) and depot-full (a global-lock
+  // flush) must absorb a whole multi-CPU allocation burst in each direction.
+  static constexpr uint32_t DepotMaxMags(int order) {
+    return order == 0 ? 128 : order >= static_cast<int>(kHugeOrder) ? 4 : 8;
+  }
 
   Result<Pfn> AllocBlockLocked(int order);
   void FreeBlockLocked(Pfn pfn, int order);
@@ -86,12 +178,12 @@ class BuddyAllocator {
   void RemoveFree(Pfn pfn, int order);
   Pfn PopFree(int order);
 
-  struct CpuCache {
-    SpinLock lock;  // A cache is normally only touched by its own CPU; the
-                    // lock makes FlushCpuCaches and CPU-id collisions safe.
-    std::vector<Pfn> frames;
-    std::vector<Pfn> huge_runs;  // Heads of parked order-kHugeOrder runs.
-  };
+  // Magazine plumbing (no locks held by callers).
+  Result<Pfn> AllocRaw(int order, bool* prezeroed, bool* mag_hit);
+  void FreeRaw(Pfn pfn, int order);
+  void PushDepotOrFlush(int order, const Magazine& mag);
+  // Returns |mag|'s blocks to the free lists (re-counting them free).
+  void FlushMagazineLocked(const Magazine& mag, int order);
 
   // Fires the pressure hook when the free count has dropped under the low
   // watermark. Called at the tail of every successful allocation path.
@@ -110,7 +202,10 @@ class BuddyAllocator {
   std::atomic<uint64_t> low_watermark_{0};
   std::atomic<uint64_t> min_watermark_{0};
   std::atomic<PressureHook> pressure_hook_{nullptr};
-  CacheAligned<CpuCache> cpu_caches_[kMaxCpus];
+  std::atomic<ScrubHook> scrub_hook_{nullptr};
+  std::atomic<bool> magazines_enabled_{true};
+  Depot depots_[kMaxOrder + 1];
+  CacheAligned<CpuMags> cpu_mags_[kMaxCpus];
 };
 
 }  // namespace cortenmm

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/cpu.h"
 #include "src/common/types.h"
 #include "src/sync/bravo.h"
 #include "src/sync/mcs_lock.h"
@@ -52,7 +53,10 @@ struct PteMetaArray {
 };
 static_assert(sizeof(PteMetaArray) == kPageSize);
 
-struct PageDescriptor {
+// Cache-line aligned so two descriptors never share a line: the fault path
+// hammers refcount/mapcount/young on its own frame while neighbouring frames'
+// descriptors are being written by frees and the reclaim clock on other CPUs.
+struct alignas(kCacheLineSize) PageDescriptor {
   // --- Identity / allocator state -----------------------------------------
   std::atomic<FrameType> type{FrameType::kFree};
   uint8_t buddy_order = 0;              // Order of the block this frame heads.
@@ -87,6 +91,16 @@ struct PageDescriptor {
   // fault that touches the frame; the reclaim clock hand clears it on the
   // first pass and only evicts frames it finds cold on the second.
   std::atomic<bool> young{true};
+
+  // --- Pre-scrub state (valid on the HEAD frame of a parked block) ----------
+  // True iff the whole block's contents are all-zero while it sits parked in
+  // a magazine or depot shelf. Set only by the pre-scrubber (which owns the
+  // block exclusively while zeroing; release store), consumed with an acquire
+  // load + relaxed store on the allocation path (the block is exclusively the
+  // allocator's once popped — no RMW needed), and cleared on every free/flush
+  // entry. Deliberately NOT touched by ResetForAlloc: the consumer reads it
+  // before resetting.
+  std::atomic<bool> zeroed{false};
 
   void ResetForAlloc(FrameType t) {
     type.store(t, std::memory_order_relaxed);

@@ -24,6 +24,7 @@ ReclaimSystem& ReclaimSystem::Instance() {
 
 namespace {
 void PressureHookTrampoline() { ReclaimSystem::Instance().Wake(); }
+void ScrubHookTrampoline() { ReclaimSystem::Instance().WakeScrubber(); }
 }  // namespace
 
 void ReclaimSystem::Start(const ReclaimConfig& config) {
@@ -33,6 +34,7 @@ void ReclaimSystem::Start(const ReclaimConfig& config) {
   config_ = config;
   stop_.store(false, std::memory_order_relaxed);
   wake_pending_.store(false, std::memory_order_relaxed);
+  scrub_pending_.store(false, std::memory_order_relaxed);
 
   BuddyAllocator& buddy = BuddyAllocator::Instance();
   if (config_.low_watermark != 0 || config_.min_watermark != 0) {
@@ -52,6 +54,11 @@ void ReclaimSystem::Start(const ReclaimConfig& config) {
     daemons_.emplace_back([this] { DaemonLoop(); });
   }
 
+  if (config_.prescrub) {
+    scrubber_ = std::thread([this] { ScrubberLoop(); });
+    buddy.SetScrubHook(&ScrubHookTrampoline);
+  }
+
   running_.store(true, std::memory_order_release);
   SetPressureGovernor(this);
   buddy.SetPressureHook(&PressureHookTrampoline);
@@ -65,16 +72,22 @@ void ReclaimSystem::Stop() {
   }
   // Unhook first so no new governor calls or wakes start after this point.
   BuddyAllocator::Instance().SetPressureHook(nullptr);
+  BuddyAllocator::Instance().SetScrubHook(nullptr);
   SetPressureGovernor(nullptr);
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
+    std::lock_guard<std::mutex> scrub_lock(scrub_mu_);
     stop_.store(true, std::memory_order_release);
   }
   wake_cv_.notify_all();
+  scrub_cv_.notify_all();
   for (std::thread& daemon : daemons_) {
     daemon.join();
   }
   daemons_.clear();
+  if (scrubber_.joinable()) {
+    scrubber_.join();
+  }
   // Spaces destroyed after Stop() no longer call OnSpaceDestroying, so the
   // registry must not outlive this run. Wait out in-flight pins (a concurrent
   // direct reclaimer may still hold one), then drop every entry.
@@ -245,11 +258,59 @@ void ReclaimSystem::DaemonLoop() {
     }
     wake_pending_.store(false, std::memory_order_release);
     lock.unlock();
+    if (buddy.BelowLow()) {
+      // Watermark drain ordering: magazines first, clock second. Frames
+      // parked in per-CPU magazines and depot shelves are counted free but
+      // only reachable from their own CPU (or a lucky depot swap); under
+      // pressure they go back to the global lists — where every CPU, and the
+      // buddy's coalescing, can use them — before any page is evicted.
+      buddy.DrainMagazines();
+    }
     while (!stop_.load(std::memory_order_acquire) && buddy.BelowLow()) {
       if (ReclaimPages(config_.bg_batch) == 0) {
         CountEvent(Counter::kReclaimStalls);
         break;  // Nothing evictable; wait for the next wake/tick.
       }
+    }
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-scrubber
+// ---------------------------------------------------------------------------
+
+void ReclaimSystem::WakeScrubber() {
+  if (stop_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (!scrub_pending_.exchange(true, std::memory_order_acq_rel)) {
+    scrub_cv_.notify_all();
+  }
+}
+
+void ReclaimSystem::ScrubberLoop() {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  std::unique_lock<std::mutex> lock(scrub_mu_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Same wake discipline as kswapd: an explicit hook wake (a dirty magazine
+    // landed in the depot) plus a periodic tick covering missed notifies.
+    scrub_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             scrub_pending_.load(std::memory_order_acquire);
+    });
+    if (stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    scrub_pending_.store(false, std::memory_order_release);
+    lock.unlock();
+    // Zero until the dirty shelves are empty, in bounded batches so shutdown
+    // is never more than one batch away. Don't scrub below the low watermark:
+    // kswapd is about to drain these very magazines to the global lists
+    // (which discards the zeroed flag), so the memset work would be wasted
+    // bandwidth exactly when the machine has none to spare.
+    while (!stop_.load(std::memory_order_acquire) && !buddy.BelowLow() &&
+           buddy.ScrubBatch(config_.scrub_batch) > 0) {
     }
     lock.lock();
   }
@@ -318,6 +379,26 @@ bool ReclaimSystem::OnFaultNoMem(VmSpace* space, int attempt) {
 bool ReclaimSystem::AllowHugeFaultIn(VmSpace* space) {
   (void)space;
   return !BuddyAllocator::Instance().BelowLow();
+}
+
+uint64_t ReclaimSystem::FaultAroundBudget(VmSpace* space) {
+  if (BuddyAllocator::Instance().BelowLow()) {
+    return 0;  // No speculation while kswapd is fighting for frames.
+  }
+  std::shared_ptr<Tenant> tenant = Pin(&space->addr_space());
+  if (tenant == nullptr) {
+    return ~0ull;
+  }
+  uint64_t limit = tenant->limit_pages.load(std::memory_order_relaxed);
+  uint64_t budget = ~0ull;
+  if (limit != 0) {
+    // Around-mapped pages count against the tenant's RSS like any others:
+    // the budget is the headroom left after the faulting page itself.
+    uint64_t resident = space->addr_space().ResidentPagesFast();
+    budget = resident + 1 >= limit ? 0 : limit - resident - 1;
+  }
+  Unpin(tenant);
+  return budget;
 }
 
 bool ReclaimSystem::OverLimit(VmSpace* space) {

@@ -71,6 +71,13 @@ struct ReclaimConfig {
   int throttle_us = 200;
   // Bounded throttle rounds per fault (so a fault cannot sleep forever).
   int max_throttle_rounds = 8;
+  // Background pre-scrub: a dedicated daemon zeroes freed frames parked on
+  // the buddy depot's dirty shelves (BuddyAllocator::ScrubBatch) so the
+  // demand-zero fault path consumes pre-zeroed frames and skips the inline
+  // memset. false leaves frames dirty — faults zero inline, as before.
+  bool prescrub = true;
+  // Frames zeroed per scrubber pass between stop checks.
+  uint64_t scrub_batch = 512;
 };
 
 class ReclaimSystem : public MemPressureGovernor {
@@ -113,6 +120,13 @@ class ReclaimSystem : public MemPressureGovernor {
   bool OnFaultNoMem(VmSpace* space, int attempt) override;
   bool AllowHugeFaultIn(VmSpace* space) override;
   bool OverLimit(VmSpace* space) override;
+  // Fault-around admission: 0 under the low watermark (speculative mappings
+  // would immediately deepen the pressure kswapd is fighting), otherwise the
+  // tenant's remaining resident headroom (unlimited tenants get ~0ull).
+  uint64_t FaultAroundBudget(VmSpace* space) override;
+
+  // Wakes the pre-scrubber (the buddy scrub hook target).
+  void WakeScrubber();
 
   // The telemetry watermark-state block: {"free_frames":...,...}.
   std::string DumpJson();
@@ -131,6 +145,7 @@ class ReclaimSystem : public MemPressureGovernor {
   std::shared_ptr<Tenant> Pin(AddrSpace* owner);
   void Unpin(const std::shared_ptr<Tenant>& tenant);
   void DaemonLoop();
+  void ScrubberLoop();
 
   ReclaimConfig config_;
   std::atomic<bool> running_{false};
@@ -140,6 +155,13 @@ class ReclaimSystem : public MemPressureGovernor {
   std::condition_variable wake_cv_;
   std::atomic<bool> wake_pending_{false};
   std::vector<std::thread> daemons_;
+
+  // Pre-scrubber (one thread; zeroing is memory-bandwidth bound, not
+  // CPU bound, so more would only fight the mutators for bandwidth).
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  std::atomic<bool> scrub_pending_{false};
+  std::thread scrubber_;
 
   std::mutex registry_mu_;
   std::condition_variable registry_cv_;

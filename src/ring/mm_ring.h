@@ -94,15 +94,23 @@ class MmRing {
 
  private:
   struct alignas(kCacheLineSize) PerCpu {
+    // The four free-running 32-bit indices (slot = index % kDepth) are split
+    // by WRITER, not by ring: the owner CPU advances sq_tail (produce) and
+    // cq_head (reap), the combiner advances sq_head (consume) and cq_tail
+    // (complete). Packing them by ring put an owner-written and a combiner-
+    // written index on one cache line, so every completion ping-ponged the
+    // line the submitter was spinning on — each writer now owns a full line.
+    //
     // Submission ring: owner produces at sq_tail, combiner consumes at
-    // sq_head. Free-running 32-bit indices; slot = index % kDepth.
-    std::atomic<uint32_t> sq_tail{0};
-    std::atomic<uint32_t> sq_head{0};
-    // Completion ring: combiner produces at cq_tail, owner consumes at
-    // cq_head. sq_tail - cq_head == outstanding ops; keeping it <= kDepth
+    // sq_head. Completion ring: combiner produces at cq_tail, owner consumes
+    // at cq_head. sq_tail - cq_head == outstanding ops; keeping it <= kDepth
     // guarantees the combiner always finds a free completion slot.
-    std::atomic<uint32_t> cq_tail{0};
-    std::atomic<uint32_t> cq_head{0};
+    std::atomic<uint32_t> sq_tail{0};  // Owner-written.
+    std::atomic<uint32_t> cq_head{0};  // Owner-written.
+    char owner_pad[kCacheLineSize - 2 * sizeof(std::atomic<uint32_t>)];
+    std::atomic<uint32_t> sq_head{0};  // Combiner-written.
+    std::atomic<uint32_t> cq_tail{0};  // Combiner-written.
+    char combiner_pad[kCacheLineSize - 2 * sizeof(std::atomic<uint32_t>)];
     MmSqe sq[kDepth];
     MmCqe cq[kDepth];
   };

@@ -286,7 +286,7 @@ void PrintRow(const std::string& label, const std::vector<double>& values,
   std::printf("\n");
 }
 
-void PrintTraceDropRate() {
+bool PrintTraceDropRate() {
   const TraceRing& ring = Telemetry::Instance().trace();
   uint64_t recorded = ring.Recorded();
   uint64_t dropped = ring.Dropped();
@@ -308,6 +308,14 @@ void PrintTraceDropRate() {
     std::printf(", worst cpu %d at %.1f%%", worst_cpu, worst * 100.0);
   }
   std::printf(")\n");
+  if (rate > 0.5) {
+    std::printf(
+        "WARN: trace drop rate %.1f%% exceeds 50%% — the ring overwrote most "
+        "of what this bench recorded; raise the TelemetrySink trace capacity\n",
+        rate * 100.0);
+    return false;
+  }
+  return true;
 }
 
 std::vector<int> SweepThreads() {

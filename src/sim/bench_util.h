@@ -124,8 +124,10 @@ std::vector<int> SweepThreads();
 // Prints the trace-ring drop accounting: total recorded/dropped events, the
 // aggregate drop rate, and the worst single-CPU drop rate. A bench whose
 // traces silently overwrote is not measuring what it claims; smoke runs print
-// this so the blindness is visible in CI logs.
-void PrintTraceDropRate();
+// this so the blindness is visible in CI logs. Returns false — after a loud
+// fail-warn — when the aggregate drop rate exceeds 50%, the cue to pass a
+// larger trace capacity to TelemetrySink.
+bool PrintTraceDropRate();
 
 }  // namespace cortenmm
 

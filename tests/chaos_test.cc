@@ -32,6 +32,9 @@ enum class ChaosSchedule {
   kNoMemBurst,   // Allocations 201..264 (site-globally) fail, then recover.
   kStraggler,    // 10% of shootdown targets stall before invalidating.
   kLockStall,    // 10% of lock acquisitions stall in their widest race window.
+  kMagRefill,    // 5% of magazine refills fail mid-fault; 20% of pre-scrub
+                 // batches abort. Faults must roll back to kNoMem cleanly and
+                 // fall back to inline zeroing, with zero frame leaks.
   kMixed,        // Everything at once, lighter.
 };
 
@@ -45,6 +48,8 @@ const char* ScheduleName(ChaosSchedule schedule) {
       return "Straggler";
     case ChaosSchedule::kLockStall:
       return "LockStall";
+    case ChaosSchedule::kMagRefill:
+      return "MagRefill";
     case ChaosSchedule::kMixed:
       return "Mixed";
   }
@@ -53,7 +58,7 @@ const char* ScheduleName(ChaosSchedule schedule) {
 
 bool InjectsNoMem(ChaosSchedule schedule) {
   return schedule == ChaosSchedule::kNoMem || schedule == ChaosSchedule::kNoMemBurst ||
-         schedule == ChaosSchedule::kMixed;
+         schedule == ChaosSchedule::kMagRefill || schedule == ChaosSchedule::kMixed;
 }
 
 void ArmSchedule(ChaosSchedule schedule) {
@@ -84,6 +89,17 @@ void ArmSchedule(ChaosSchedule schedule) {
       inj.Enable(FaultSite::kAdvLockStall, stall);
       inj.Enable(FaultSite::kRwLockStall, stall);
       break;
+    case ChaosSchedule::kMagRefill: {
+      FaultConfig refill;
+      refill.prob_num = 5;
+      refill.prob_den = 100;
+      FaultConfig scrub;
+      scrub.prob_num = 20;
+      scrub.prob_den = 100;
+      inj.Enable(FaultSite::kMagazineRefill, refill);
+      inj.Enable(FaultSite::kPreScrub, scrub);
+      break;
+    }
     case ChaosSchedule::kMixed: {
       FaultConfig light_nomem = nomem;
       light_nomem.prob_num = 1;
@@ -92,6 +108,7 @@ void ArmSchedule(ChaosSchedule schedule) {
       light_stall.stall_spins = 100;
       inj.Enable(FaultSite::kBuddyAllocFrame, light_nomem);
       inj.Enable(FaultSite::kBuddyAllocBlock, light_nomem);
+      inj.Enable(FaultSite::kMagazineRefill, light_nomem);
       inj.Enable(FaultSite::kShootdownStraggler, light_stall);
       inj.Enable(FaultSite::kAdvLockStall, light_stall);
       inj.Enable(FaultSite::kRwLockStall, light_stall);
@@ -111,6 +128,10 @@ struct ChaosParam {
   // schedule also exercises order-9 allocation failure (fallback ladder),
   // boundary splits under munmap/mprotect, and huge-run reclamation.
   bool huge = false;
+  // Fault-around axis: speculative neighbour mapping inside the fault
+  // transaction, so refill failures also hit mid-speculation (the primary
+  // fault already committed; the walk must simply end, leaking nothing).
+  uint32_t fault_around = 0;
 };
 
 class ChaosTest : public ::testing::TestWithParam<ChaosParam> {
@@ -134,6 +155,12 @@ void ChaosWorker(VmSpace* space, int tid, int iters, std::atomic<uint64_t>* succ
   FaultInjector::SeedThread(0x5eedull ^ static_cast<uint64_t>(tid));
   Rng rng(0xc4a05ull + static_cast<uint64_t>(tid));
   for (int i = 0; i < iters; ++i) {
+    if (i % 16 == 0) {
+      // Pre-scrub whatever spilled to the depot, injector permitting —
+      // under the MagRefill schedule this aborts 20% of the time and the
+      // frames must simply stay dirty.
+      BuddyAllocator::Instance().ScrubBatch(64);
+    }
     uint64_t pages = rng.Range(4, 17);  // 16 KiB .. 64 KiB.
     uint64_t len = pages << kPageBits;
     Result<Vaddr> va = space->MmapAnon(len, Perm::RW());
@@ -204,6 +231,7 @@ TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
     options.protocol = GetParam().protocol;
     options.tlb_policy = GetParam().tlb_policy;
     options.huge_pages = GetParam().huge;
+    options.fault_around_pages = GetParam().fault_around;
     auto space = std::make_unique<VmSpace>(options);
 
     ArmSchedule(GetParam().schedule);
@@ -387,12 +415,23 @@ INSTANTIATE_TEST_SUITE_P(
                       ChaosParam{Protocol::kRw, ChaosSchedule::kNoMem,
                                  TlbPolicy::kEarlyAck, /*huge=*/true},
                       ChaosParam{Protocol::kRw, ChaosSchedule::kStraggler,
-                                 TlbPolicy::kSync, /*huge=*/true}),
+                                 TlbPolicy::kSync, /*huge=*/true},
+                      // Magazine-refill / pre-scrub failures, with and
+                      // without fault-around speculation in the window.
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMagRefill},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kMagRefill},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMagRefill,
+                                 TlbPolicy::kEarlyAck, /*huge=*/false,
+                                 /*fault_around=*/16},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMixed,
+                                 TlbPolicy::kEarlyAck, /*huge=*/false,
+                                 /*fault_around=*/16}),
     [](const ::testing::TestParamInfo<ChaosParam>& info) {
       std::string name = std::string(ProtocolName(info.param.protocol)) + "_" +
                          ScheduleName(info.param.schedule) + "_" +
                          TlbPolicyName(info.param.tlb_policy) +
-                         (info.param.huge ? "_Huge" : "");
+                         (info.param.huge ? "_Huge" : "") +
+                         (info.param.fault_around != 0 ? "_Around" : "");
       for (char& c : name) {
         if (c == '-') {
           c = '_';

@@ -1,0 +1,197 @@
+// Fault-around semantics: a demand-zero fault speculatively maps cold
+// neighbours inside one aligned window and one transaction — and must do it
+// without disturbing anything else. The contracts under test:
+//   - around-mapped pages start with the young bit CLEAR (the reclaim clock
+//     can take back a wrong guess on its first pass); the faulting page
+//     itself is young;
+//   - the walk never leaves the faulting page's VMA (a neighbouring region
+//     with different permissions keeps its pages virtual);
+//   - the walk never eats into a huge run (the window is power-of-two
+//     aligned and capped at 512 pages, so it cannot straddle a 2 MiB slot);
+//   - a tenant's resident limit bounds speculation: the governor's
+//     FaultAroundBudget caps extra mappings at the remaining headroom.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/core/addr_space.h"
+#include "src/core/status.h"
+#include "src/core/vm_space.h"
+#include "src/pmm/buddy.h"
+#include "src/pmm/phys_mem.h"
+#include "src/reclaim/reclaim.h"
+#include "src/sync/rcu.h"
+#include "src/tlb/shootdown.h"
+#include "src/verif/wf_checker.h"
+
+namespace cortenmm {
+namespace {
+
+uint64_t Count(Counter c) { return GlobalStats().Total(c); }
+
+AddrSpace::Options AroundOptions(uint32_t window_pages, bool huge = false) {
+  AddrSpace::Options options;
+  options.fault_around_pages = window_pages;
+  options.huge_pages = huge;
+  return options;
+}
+
+Status QueryOne(AddrSpace& space, Vaddr va) {
+  RCursor cursor = space.Lock(VaRange(va, va + kPageSize));
+  return cursor.Query(va);
+}
+
+// All fixed-address regions live in their own 512 GiB slot, far from the
+// dynamic VA allocator's arenas.
+constexpr Vaddr kTestBase = 24ull << 30;
+
+class FaultAroundTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    TlbSystem::Instance().DrainAll();
+    Rcu::Instance().DrainAll();
+    BuddyAllocator::Instance().FlushCpuCaches();
+  }
+};
+
+TEST_F(FaultAroundTest, MapsWholeWindowInOneFaultAndNeighboursStartCold) {
+  VmSpace space{AroundOptions(16)};
+  // 64 pages at a window-aligned fixed address: every 16-page window is
+  // fully inside the region.
+  constexpr uint64_t kPages = 64;
+  ASSERT_TRUE(space.MmapAnonAt(kTestBase, kPages << kPageBits, Perm::RW()).ok());
+
+  uint64_t faults_before = Count(Counter::kPageFaults);
+  uint64_t around_before = Count(Counter::kFaultAroundMapped);
+  // Fault page 24: window [16, 32).
+  Vaddr fault_va = kTestBase + (24ull << kPageBits);
+  ASSERT_TRUE(space.HandleFault(fault_va, Access::kWrite).ok());
+
+  EXPECT_EQ(Count(Counter::kPageFaults), faults_before + 1);
+  EXPECT_EQ(Count(Counter::kFaultAroundMapped), around_before + 15);
+  EXPECT_EQ(space.addr_space().ResidentPagesFast(), 16u);
+
+  PhysMem& mem = PhysMem::Instance();
+  for (uint64_t p = 16; p < 32; ++p) {
+    Vaddr va = kTestBase + (p << kPageBits);
+    Status s = QueryOne(space.addr_space(), va);
+    ASSERT_EQ(s.tag, StatusTag::kMapped) << "page " << p;
+    bool young = mem.Descriptor(s.pfn).young.load(std::memory_order_relaxed);
+    // Only the touched page is referenced; speculation starts cold.
+    EXPECT_EQ(young, va == fault_va) << "page " << p;
+  }
+  // Outside the window nothing was speculated.
+  EXPECT_EQ(QueryOne(space.addr_space(), kTestBase + (15ull << kPageBits)).tag,
+            StatusTag::kPrivateAnon);
+  EXPECT_EQ(QueryOne(space.addr_space(), kTestBase + (32ull << kPageBits)).tag,
+            StatusTag::kPrivateAnon);
+
+  WfReport report = CheckWellFormed(space.addr_space());
+  EXPECT_TRUE(report.ok) << report.first_error;
+}
+
+TEST_F(FaultAroundTest, StopsAtVmaBoundary) {
+  VmSpace space{AroundOptions(16)};
+  // Two adjacent regions inside one window: 4 pages RW, then 12 pages R.
+  // The R region's demand-zero status differs (permissions are part of the
+  // status), so the walk must stop at the seam even though the VAs abut.
+  ASSERT_TRUE(space.MmapAnonAt(kTestBase, 4 << kPageBits, Perm::RW()).ok());
+  ASSERT_TRUE(space.MmapAnonAt(kTestBase + (4ull << kPageBits), 12 << kPageBits,
+                               Perm::R()).ok());
+
+  ASSERT_TRUE(space.HandleFault(kTestBase, Access::kWrite).ok());
+
+  // Exactly the RW VMA's pages are resident; every R page is still virtual.
+  EXPECT_EQ(space.addr_space().ResidentPagesFast(), 4u);
+  for (uint64_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(QueryOne(space.addr_space(), kTestBase + (p << kPageBits)).tag,
+              StatusTag::kMapped) << "page " << p;
+  }
+  for (uint64_t p = 4; p < 16; ++p) {
+    EXPECT_EQ(QueryOne(space.addr_space(), kTestBase + (p << kPageBits)).tag,
+              StatusTag::kPrivateAnon) << "page " << p;
+  }
+}
+
+TEST_F(FaultAroundTest, StopsAtUnallocatedVa) {
+  VmSpace space{AroundOptions(16)};
+  // A 4-page island in the middle of a window; the rest of the window is
+  // unallocated (kInvalid), which must stop the walk in both directions.
+  Vaddr island = kTestBase + (4ull << kPageBits);
+  ASSERT_TRUE(space.MmapAnonAt(island, 4 << kPageBits, Perm::RW()).ok());
+
+  ASSERT_TRUE(space.HandleFault(island + (1ull << kPageBits), Access::kWrite).ok());
+  EXPECT_EQ(space.addr_space().ResidentPagesFast(), 4u);
+  EXPECT_EQ(QueryOne(space.addr_space(), kTestBase).tag, StatusTag::kInvalid);
+  EXPECT_EQ(QueryOne(space.addr_space(), island + (4ull << kPageBits)).tag,
+            StatusTag::kInvalid);
+}
+
+TEST_F(FaultAroundTest, WindowNeverEatsIntoAHugeRun) {
+  VmSpace space{AroundOptions(16, /*huge=*/true)};
+  // A huge-aligned region of one full 2 MiB slot plus a 16-page tail. The
+  // first touch installs a level-2 leaf; the tail slot is not fully covered
+  // by the VMA, so a tail fault takes the 4 KiB path with fault-around.
+  constexpr uint64_t kTail = 16;
+  Vaddr base = AlignUp(kTestBase, kHugePageSize);
+  ASSERT_TRUE(space.MmapAnonAt(base, kHugePageSize + (kTail << kPageBits),
+                               Perm::RW()).ok());
+
+  ASSERT_TRUE(space.HandleFault(base, Access::kWrite).ok());
+  Status head = QueryOne(space.addr_space(), base);
+  ASSERT_EQ(head.tag, StatusTag::kMapped);
+  ASSERT_EQ(head.level, 2) << "first touch should install a huge leaf";
+
+  // Fault in the middle of the tail. Its 16-page window starts exactly at
+  // the huge boundary (both are power-of-two aligned), so the downward walk
+  // cannot reach the run; the whole tail maps, the huge leaf stays intact.
+  Vaddr tail_fault = base + kHugePageSize + (8ull << kPageBits);
+  ASSERT_TRUE(space.HandleFault(tail_fault, Access::kWrite).ok());
+
+  EXPECT_EQ(space.addr_space().ResidentPagesFast(), (1ull << kHugeOrder) + kTail);
+  Status head_after = QueryOne(space.addr_space(), base);
+  ASSERT_EQ(head_after.tag, StatusTag::kMapped);
+  EXPECT_EQ(head_after.level, 2) << "fault-around must not split the huge leaf";
+  EXPECT_EQ(head_after.pfn, head.pfn);
+  for (uint64_t p = 0; p < kTail; ++p) {
+    EXPECT_EQ(QueryOne(space.addr_space(),
+                       base + kHugePageSize + (p << kPageBits)).tag,
+              StatusTag::kMapped) << "tail page " << p;
+  }
+
+  WfReport report = CheckWellFormed(space.addr_space());
+  EXPECT_TRUE(report.ok) << report.first_error;
+}
+
+TEST_F(FaultAroundTest, TenantResidentLimitBoundsSpeculation) {
+  ScopedReclaim reclaim;
+  VmSpace space{AroundOptions(16)};
+  constexpr uint64_t kLimit = 8;
+  ASSERT_TRUE(space.MmapAnonAt(kTestBase, 64 << kPageBits, Perm::RW()).ok());
+  ReclaimSystem::Instance().SetResidentLimit(&space, kLimit);
+
+  // One fault in a fully-open window: unbounded it would map 16 pages, but
+  // the governor's budget is the remaining headroom (kLimit - 1 extra).
+  ASSERT_TRUE(space.HandleFault(kTestBase + (16ull << kPageBits),
+                                Access::kWrite).ok());
+  EXPECT_LE(space.addr_space().ResidentPagesFast(), kLimit);
+  EXPECT_GT(space.addr_space().ResidentPagesFast(), 1u)
+      << "under-limit tenants should still get some speculation";
+}
+
+TEST_F(FaultAroundTest, DisabledByDefaultAndForTinyWindows) {
+  // 0 and 1 disable; non-power-of-two rounds down; > 512 caps at 512.
+  VmSpace off{AroundOptions(0)};
+  ASSERT_TRUE(off.MmapAnonAt(kTestBase, 32 << kPageBits, Perm::RW()).ok());
+  ASSERT_TRUE(off.HandleFault(kTestBase + (8ull << kPageBits), Access::kWrite).ok());
+  EXPECT_EQ(off.addr_space().ResidentPagesFast(), 1u);
+
+  VmSpace one{AroundOptions(1)};
+  ASSERT_TRUE(one.MmapAnonAt(kTestBase, 32 << kPageBits, Perm::RW()).ok());
+  ASSERT_TRUE(one.HandleFault(kTestBase, Access::kWrite).ok());
+  EXPECT_EQ(one.addr_space().ResidentPagesFast(), 1u);
+}
+
+}  // namespace
+}  // namespace cortenmm

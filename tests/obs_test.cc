@@ -17,17 +17,32 @@ namespace {
 #if CORTENMM_TELEMETRY
 
 TEST(LatencyHistogramTest, BucketBoundaries) {
-  // Bucket b holds [2^b, 2^(b+1)); bucket 0 also absorbs 0 and 1 ns.
+  // Log-linear buckets: values below kLatencySubBuckets are exact, above
+  // that each power-of-two octave splits into kLatencySubBuckets linear
+  // sub-buckets (12.5% relative resolution).
   EXPECT_EQ(LatencyHistogram::BucketFor(0), 0);
-  EXPECT_EQ(LatencyHistogram::BucketFor(1), 0);
-  EXPECT_EQ(LatencyHistogram::BucketFor(2), 1);
-  EXPECT_EQ(LatencyHistogram::BucketFor(3), 1);
-  EXPECT_EQ(LatencyHistogram::BucketFor(4), 2);
-  EXPECT_EQ(LatencyHistogram::BucketFor(1023), 9);
-  EXPECT_EQ(LatencyHistogram::BucketFor(1024), 10);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1), 1);
+  EXPECT_EQ(LatencyHistogram::BucketFor(7), 7);
+  EXPECT_EQ(LatencyHistogram::BucketFor(8), 8);
+  EXPECT_EQ(LatencyHistogram::BucketFor(15), 15);
+  // [16, 18) share the first sub-bucket of the 2^4 octave.
+  EXPECT_EQ(LatencyHistogram::BucketFor(16), 16);
+  EXPECT_EQ(LatencyHistogram::BucketFor(17), 16);
+  EXPECT_EQ(LatencyHistogram::BucketFor(18), 17);
+  // The 2^9 octave ends at bucket 63; 1024 starts a new octave.
+  EXPECT_EQ(LatencyHistogram::BucketFor(1023), 63);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1024), 64);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1151), 64);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1152), 65);
   // The top bucket absorbs everything beyond 2^47.
   EXPECT_EQ(LatencyHistogram::BucketFor(~0ull), LatencyHistogram::kBuckets - 1);
-  EXPECT_EQ(LatencyHistogram::BucketLowerBound(10), 1024u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(10), 10u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(64), 1024u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(65), 1152u);
+  // Round-trip: every bucket's lower bound maps back to that bucket.
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::BucketFor(LatencyHistogram::BucketLowerBound(b)), b);
+  }
 }
 
 TEST(LatencyHistogramTest, RecordAccumulates) {
@@ -140,6 +155,37 @@ TEST(TraceRingTest, WraparoundOverwritesOldestAndCountsDrops) {
     min_arg = std::min(min_arg, e.arg0);
   }
   EXPECT_EQ(min_arg, 100u);
+}
+
+TEST(TraceRingTest, CapacityIsConfigurable) {
+  auto ring_storage = std::make_unique<TraceRing>();
+  TraceRing& ring = *ring_storage;
+  EXPECT_EQ(ring.Capacity(), TraceRing::kCapacity);
+
+  // Shrink: a quiescent resize frees the buffers; the next Record allocates
+  // at the new size, and overflow is measured against it.
+  constexpr uint64_t kSmall = 256;
+  ring.SetCapacity(kSmall);
+  EXPECT_EQ(ring.Capacity(), kSmall);
+  const uint64_t total = kSmall + 100;
+  for (uint64_t i = 0; i < total; ++i) {
+    ring.Record(TraceKind::kAcquireRetry, i, 0);
+  }
+  EXPECT_EQ(ring.Recorded(), total);
+  EXPECT_EQ(ring.Dropped(), 100u);
+  EXPECT_EQ(ring.MergeSorted().size(), kSmall);
+
+  // Grow: the same event count now fits with zero drops.
+  ring.SetCapacity(2 * total);
+  for (uint64_t i = 0; i < total; ++i) {
+    ring.Record(TraceKind::kAcquireRetry, i, 0);
+  }
+  EXPECT_EQ(ring.Dropped(), 0u);
+  EXPECT_EQ(ring.MergeSorted().size(), total);
+
+  // Values are clamped to at least one slot.
+  ring.SetCapacity(0);
+  EXPECT_GE(ring.Capacity(), 1u);
 }
 
 TEST(TelemetryTest, RecordAndMergeAcrossThreads) {

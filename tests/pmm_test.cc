@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/page_desc.h"
 #include "src/pmm/phys_mem.h"
@@ -75,6 +76,10 @@ TEST(BuddyTest, SplitAndCoalesceRoundTrip) {
   for (Pfn f : singles) {
     buddy.FreeBlock(f, 0);
   }
+  // The frees parked in the per-CPU magazines, which count as allocated;
+  // flushing returns them to the free lists and must restore the count
+  // exactly (coalescing included).
+  buddy.FlushCpuCaches();
   EXPECT_EQ(buddy.FreeFrameCount(), free_before);
 }
 
@@ -138,6 +143,136 @@ TEST(BuddyTest, DescriptorStateTracksAllocation) {
   EXPECT_EQ(desc.type.load(), FrameType::kCached);
   buddy.FlushCpuCaches();
   EXPECT_EQ(desc.type.load(), FrameType::kFree);
+}
+
+// ---------------------------------------------------------------------------
+// Magazine / depot / pre-scrub layer
+// ---------------------------------------------------------------------------
+
+uint64_t Count(Counter c) { return GlobalStats().Total(c); }
+
+TEST(MagazineTest, SteadyStateServesFromMagazineWithoutGlobalLock) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  buddy.FlushCpuCaches();
+  // Warm the current CPU's magazine: allocate a magazine's worth, free it
+  // back — every frame parks locally.
+  std::vector<Pfn> warm;
+  for (uint32_t i = 0; i < BuddyAllocator::kMagSlots; ++i) {
+    Result<Pfn> f = buddy.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    warm.push_back(*f);
+  }
+  for (Pfn f : warm) {
+    buddy.FreeFrame(f);
+  }
+
+  uint64_t locks_before = Count(Counter::kBuddyLockAcquisitions);
+  uint64_t hits_before = Count(Counter::kMagHits);
+  constexpr int kIters = 1000;
+  for (int i = 0; i < kIters; ++i) {
+    Result<Pfn> f = buddy.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    buddy.FreeFrame(*f);
+  }
+  // A full magazine absorbs every alloc/free pair: zero global-lock traffic.
+  EXPECT_EQ(Count(Counter::kBuddyLockAcquisitions), locks_before);
+  EXPECT_EQ(Count(Counter::kMagHits), hits_before + kIters);
+}
+
+TEST(MagazineTest, OverflowSpillsToDepotAndScrubProducesPrezeroedFrames) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  PhysMem& mem = PhysMem::Instance();
+  buddy.FlushCpuCaches();
+
+  // Dirty two magazines' worth of frames, then free them all: the first
+  // kMagSlots fill the local magazine, the overflow spills one full magazine
+  // to the depot's dirty shelf.
+  constexpr uint32_t kFrames = 2 * BuddyAllocator::kMagSlots;
+  std::vector<Pfn> frames;
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    Result<Pfn> f = buddy.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    std::memset(mem.FrameData(*f), 0xff, kPageSize);
+    frames.push_back(*f);
+  }
+  uint64_t flushes_before = Count(Counter::kMagFlushes);
+  for (Pfn f : frames) {
+    buddy.FreeFrame(f);
+  }
+  EXPECT_GT(Count(Counter::kMagFlushes), flushes_before);
+
+  // The pre-scrubber zeroes the dirty magazine off the allocation path.
+  uint64_t scrubbed = buddy.ScrubBatch(BuddyAllocator::kMagSlots);
+  EXPECT_EQ(scrubbed, uint64_t{BuddyAllocator::kMagSlots});
+
+  // Drain the (dirty) local magazine, then one more allocation swaps the
+  // scrubbed magazine in from the depot's clean shelf: a prezero hit, and
+  // the frame really is zero.
+  uint64_t prezero_before = Count(Counter::kPrezeroHits);
+  std::vector<Pfn> drained;
+  for (uint32_t i = 0; i <= BuddyAllocator::kMagSlots; ++i) {
+    Result<Pfn> f = buddy.AllocZeroedFrame();
+    ASSERT_TRUE(f.ok());
+    drained.push_back(*f);
+    for (uint64_t b = 0; b < kPageSize; b += 512) {
+      ASSERT_EQ(static_cast<uint8_t>(mem.FrameData(*f)[b]), 0u);
+    }
+  }
+  EXPECT_GT(Count(Counter::kPrezeroHits), prezero_before);
+  for (Pfn f : drained) {
+    buddy.FreeFrame(f);
+  }
+  buddy.FlushCpuCaches();
+}
+
+TEST(MagazineTest, ScrubBatchIsBoundedAndIdle) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  buddy.FlushCpuCaches();
+  // Nothing dirty parked: the scrubber finds no work.
+  EXPECT_EQ(buddy.ScrubBatch(1024), 0u);
+}
+
+TEST(MagazineTest, DrainReturnsParkedStockToFreeLists) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  buddy.FlushCpuCaches();
+  uint64_t free_baseline = buddy.FreeFrameCount();
+
+  std::vector<Pfn> frames;
+  for (uint32_t i = 0; i < BuddyAllocator::kMagSlots; ++i) {
+    Result<Pfn> f = buddy.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    frames.push_back(*f);
+  }
+  for (Pfn f : frames) {
+    buddy.FreeFrame(f);
+  }
+  // Batch-boundary accounting: parked frames still read as allocated...
+  EXPECT_EQ(buddy.FreeFrameCount(),
+            free_baseline - BuddyAllocator::kMagSlots);
+  // ...and a pressure-driven drain visibly raises the free count.
+  uint64_t drains_before = Count(Counter::kMagDrains);
+  buddy.DrainMagazines();
+  EXPECT_EQ(buddy.FreeFrameCount(), free_baseline);
+  EXPECT_GT(Count(Counter::kMagDrains), drains_before);
+}
+
+TEST(MagazineTest, DisableBypassesToGlobalLockAndReenableRestores) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  buddy.FlushCpuCaches();
+  uint64_t free_baseline = buddy.FreeFrameCount();
+
+  buddy.SetMagazinesEnabled(false);
+  // Disabling flushed everything parked; the direct path hits the lock.
+  uint64_t locks_before = Count(Counter::kBuddyLockAcquisitions);
+  Result<Pfn> f = buddy.AllocFrame();
+  ASSERT_TRUE(f.ok());
+  buddy.FreeFrame(*f);
+  EXPECT_EQ(Count(Counter::kBuddyLockAcquisitions), locks_before + 2);
+  EXPECT_EQ(buddy.FreeFrameCount(), free_baseline);
+
+  buddy.SetMagazinesEnabled(true);
+  EXPECT_TRUE(buddy.MagazinesEnabled());
+  EXPECT_EQ(buddy.FreeFrameCount(), free_baseline);
 }
 
 // ---------------------------------------------------------------------------

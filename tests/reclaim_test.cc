@@ -180,14 +180,17 @@ TEST_F(ReclaimTest, ResidentLimitDegradesFaultsNotFails) {
   }
   EXPECT_GT(Count(Counter::kReclaimLimitHits), limit_hits_before);
 
-  // Once everything is cold, an unbounded targeted pass drives the tenant
-  // down to its limit (the fault-time passes are scan-bounded, so in this
-  // large test arena they only make partial progress per fault).
+  // Once everything is cold, a targeted pass drives the tenant down to its
+  // limit. The fault-time passes are scan-bounded, so they may only have made
+  // partial progress — though with the magazine layer's LIFO frame reuse the
+  // tenant's pages sit dense in the PFN space and the bounded passes often
+  // hold the line at exactly kLimit by themselves.
   AgeAllFrames();
   uint64_t resident = space.addr_space().ResidentPagesFast();
-  ASSERT_GT(resident, kLimit);
-  ReclaimSystem::Instance().ReclaimPages(resident - kLimit,
-                                         &space.addr_space());
+  if (resident > kLimit) {
+    ReclaimSystem::Instance().ReclaimPages(resident - kLimit,
+                                           &space.addr_space());
+  }
   EXPECT_LE(space.addr_space().ResidentPagesFast(), kLimit);
 }
 
