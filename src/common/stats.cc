@@ -114,6 +114,12 @@ const char* CounterName(Counter c) {
       return "fault_around_mapped";
     case Counter::kBuddyLockAcquisitions:
       return "buddy_lock_acquisitions";
+    case Counter::kModelStatesExplored:
+      return "model_states_explored";
+    case Counter::kModelTransitions:
+      return "model_transitions";
+    case Counter::kLitmusTsoOnlyStates:
+      return "litmus_tso_only_states";
     case Counter::kCount:
       break;
   }

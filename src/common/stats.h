@@ -70,6 +70,10 @@ enum class Counter : int {
   kPrescrubFramesZeroed,  // Frames zeroed off the fault path by the scrubber.
   kFaultAroundMapped,     // Extra neighbour pages mapped by fault-around.
   kBuddyLockAcquisitions, // Global buddy free-list lock acquisitions.
+  kModelStatesExplored,   // States the model checker visited (all Run calls).
+  kModelTransitions,      // Transitions the model checker generated.
+  kLitmusTsoOnlyStates,   // States reachable under kTSO but not kSC per
+                          // CompareMemModels pass (store-buffer-only states).
   kCount,
 };
 

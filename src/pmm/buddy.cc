@@ -279,6 +279,11 @@ Result<Pfn> BuddyAllocator::AllocRaw(int order, bool* prezeroed, bool* mag_hit) 
   // Load-then-store, not exchange: the block is exclusively ours once it
   // leaves the magazine, so no atomic RMW is needed; the acquire load pairs
   // with the scrubber's release store to make the zeroed bytes visible.
+  // Weak-memory audit (PR 9): TSO-safe — message passing, not store
+  // buffering: the scrubber's zeroing stores drain FIFO-before its flag
+  // store, and this side only loads. Model-checked by MakePrezeroLitmus
+  // (src/verif/litmus_model.cc); PrezeroVariant::kFlagBeforeZero keeps the
+  // flag-first counterexample as the regression.
   PageDescriptor& head = mem.Descriptor(pfn);
   if (head.zeroed.load(std::memory_order_acquire)) {
     head.zeroed.store(false, std::memory_order_relaxed);

@@ -67,6 +67,11 @@ bool MmRing::Submit(const MmSqe& sqe) {
   }
   // outstanding < kDepth implies the sq slot at tail % kDepth was consumed by
   // a drain at least kDepth ops ago, so the owner may overwrite it.
+  // Weak-memory audit (PR 9): the plain slot copy before the sq_tail release
+  // store is TSO-safe — the FIFO store buffer commits the slot bytes before
+  // the tail, so a combiner that acquires the new tail reads a whole SQE.
+  // Model-checked by MakeRingPublishLitmus (src/verif/litmus_model.cc);
+  // RingVariant::kTailBeforeSlot keeps the inverted order as the regression.
   pc.sq[tail % kDepth] = sqe;
   pc.sq_tail.store(tail + 1, std::memory_order_release);
   pending_.fetch_add(1, std::memory_order_release);

@@ -73,6 +73,15 @@ void BravoRwLock::WriteLock() {
     // Revoke: no new fast-path readers can start (they re-check rbias); wait
     // for published ones to drain.
     rbias_.store(false, std::memory_order_release);
+    // StoreLoad fence: the revocation store must be visible to every reader
+    // BEFORE the slot scan below reads anything. Without it this is the SB
+    // litmus shape — on x86-TSO the scan loads may complete while rbias=false
+    // still sits in this core's store buffer, so a reader can CAS its slot
+    // after the scan passed it, re-check rbias, read the stale `true`, and
+    // run its fast path inside our write critical section. Found by the
+    // model checker (MakeBravoRevokeLitmus in src/verif/litmus_model.cc;
+    // litmus_test.cc keeps BravoVariant::kNoFence as the regression).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     uint64_t scan_start = NowNanos();
     BravoTable& table = BravoTable::Instance();
     SpinBackoff backoff;

@@ -52,6 +52,14 @@ class BravoRwLock {
 
   bool read_biased() const { return rbias_.load(std::memory_order_relaxed); }
 
+  // Test hook: re-arm the bias and clear the inhibition window so the next
+  // WriteLock exercises the full revocation protocol. Stress tests use this
+  // to hammer the revoke-then-scan path (see BravoTest in sync_test.cc).
+  void rearm_bias_for_testing() {
+    inhibit_until_ns_.store(0, std::memory_order_relaxed);
+    rbias_.store(true, std::memory_order_release);
+  }
+
  private:
   PfqRwLock underlying_;
   std::atomic<bool> rbias_{true};

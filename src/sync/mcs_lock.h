@@ -6,6 +6,15 @@
 // The caller owns the queue node and must keep it alive (and at a stable
 // address) from Lock() until Unlock(). RCursor keeps one node per locked PT
 // page in a std::deque, whose elements never move.
+//
+// Weak-memory audit (PR 9): TSO-safe as written, model-checked by
+// MakeMcsHandoffLitmus (src/verif/litmus_model.cc). Every cross-thread
+// ordering edge runs through an RMW (the tail exchange, the unlock CAS) or a
+// spin that only exits once the releasing store is committed, so the store
+// buffer cannot reorder anything observable. The tail exchange being a single
+// RMW is the load-bearing ingredient: the McsVariant::kNonAtomicTailSwap
+// litmus regression demotes it to a load-then-store and both threads enter
+// the critical section (already under SC).
 #ifndef SRC_SYNC_MCS_LOCK_H_
 #define SRC_SYNC_MCS_LOCK_H_
 

@@ -1,6 +1,16 @@
 // Sequence counter for optimistic read validation. The Linux-baseline MM uses
 // this to reproduce per-VMA speculative page-fault handling (vm_lock_seq in
 // the paper's Figure 2).
+//
+// Weak-memory audit (PR 9): TSO-safe as written, model-checked by
+// MakeSeqCountLitmus (src/verif/litmus_model.cc). The reader side is
+// loads-only and the writer's WriteBegin/WriteEnd are RMWs, which drain the
+// x86 store buffer — so a validated snapshot (same even sequence before and
+// after) can never span a writer's buffered data stores. The fetch_add
+// increments are load-bearing twice over: demoting them to load;add;store
+// lets two writers interleave and a reader validate torn data (the
+// SeqCountVariant::kNonAtomicWriterIncrement litmus regression, reachable
+// already under SC).
 #ifndef SRC_SYNC_SEQLOCK_H_
 #define SRC_SYNC_SEQLOCK_H_
 

@@ -38,6 +38,16 @@ TlbSystem& TlbSystem::Instance() {
   return system;
 }
 
+// Weak-memory audit (PR 9): the publish/tick/ack protocol is TSO-safe as
+// written, model-checked by MakeLatrLitmus (src/verif/litmus_model.cc).
+// Entries are published and scanned under the per-CPU buffer spinlock, whose
+// Lock() is an RMW — the initiator's buffered entry stores must commit before
+// its lock-release store (FIFO), so a target that acquires the lock sees a
+// fully-written entry. TryAck/HasAcked are an RMW and an acquire load on the
+// same word, so an ack is visible to every later tick; removing the HasAcked
+// skip re-invalidates acked entries (the LatrVariant::kNoHasAckedCheck litmus
+// regression), and the fetch_sub on `remaining` orders FinishEntry after both
+// flushes.
 bool TlbSystem::LatrEntry::TryAck(CpuId cpu) {
   uint64_t bit = 1ull << (cpu % 64);
   uint64_t prev = acked_mask[cpu / 64].fetch_or(bit, std::memory_order_acq_rel);

@@ -3,7 +3,20 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "src/common/stats.h"
+
 namespace cortenmm {
+
+const char* MemModelName(MemModel model) {
+  switch (model) {
+    case MemModel::kSC:
+      return "sc";
+    case MemModel::kTSO:
+      return "tso";
+  }
+  return "unknown";
+}
+
 namespace {
 
 uint64_t HashState(const ModelState& state) {
@@ -33,10 +46,29 @@ std::string Describe(const ModelState& state) {
 ModelCheckResult ModelChecker::Run(const Model& model, uint64_t max_states) {
   auto start = std::chrono::steady_clock::now();
   ModelCheckResult result;
+  result.mem_model = model.mem_model();
 
-  // Visited set stores full states bucketed by hash (collision-safe).
-  std::unordered_set<uint64_t> visited_hashes;
-  std::vector<ModelState> collision_pool;
+  // Stamps the elapsed time and feeds the run into the checker-stats counters
+  // (telemetry: states and transitions accumulate across every Run call).
+  auto finish = [&]() -> ModelCheckResult {
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    CountEvent(Counter::kModelStatesExplored, result.states_explored);
+    CountEvent(Counter::kModelTransitions, result.transitions);
+    return result;
+  };
+
+  // Exact visited set over full states (FNV-hashed buckets). Exactness
+  // matters twice over: a hash-only set could silently skip a distinct state
+  // on collision (missed violations), while treating "hash seen" as "maybe
+  // new" re-explores every re-reached state and degenerates quadratically on
+  // the diamond-heavy litmus state graphs.
+  struct StateHash {
+    size_t operator()(const ModelState& state) const {
+      return static_cast<size_t>(HashState(state));
+    }
+  };
+  std::unordered_set<ModelState, StateHash> visited;
 
   struct Frame {
     ModelState state;
@@ -45,18 +77,7 @@ ModelCheckResult ModelChecker::Run(const Model& model, uint64_t max_states) {
   std::vector<Frame> stack;
 
   auto visit = [&](const ModelState& state) -> bool {
-    uint64_t h = HashState(state);
-    if (visited_hashes.insert(h).second) {
-      return true;  // Fresh hash: definitely unvisited.
-    }
-    // Hash seen before: fall back to exact containment via the pool.
-    for (const ModelState& seen : collision_pool) {
-      if (seen == state) {
-        return false;
-      }
-    }
-    collision_pool.push_back(state);
-    return true;
+    return visited.insert(state).second;
   };
 
   ModelState initial = model.Initial();
@@ -75,17 +96,13 @@ ModelCheckResult ModelChecker::Run(const Model& model, uint64_t max_states) {
     if (!model.CheckInvariants(frame.state, &violation)) {
       result.violation = violation + " in state " + Describe(frame.state);
       result.ok = false;
-      result.seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-      return result;
+      return finish();
     }
 
     if (max_states != 0 && result.states_explored > max_states) {
       result.violation = "state-space bound exceeded (increase max_states)";
       result.ok = false;
-      result.seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-      return result;
+      return finish();
     }
 
     std::vector<ModelState> next = model.Successors(frame.state);
@@ -95,9 +112,7 @@ ModelCheckResult ModelChecker::Run(const Model& model, uint64_t max_states) {
       } else {
         result.deadlock_state = Describe(frame.state);
         result.ok = false;
-        result.seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-        return result;
+        return finish();
       }
       continue;
     }
@@ -110,9 +125,7 @@ ModelCheckResult ModelChecker::Run(const Model& model, uint64_t max_states) {
   }
 
   result.ok = true;
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return result;
+  return finish();
 }
 
 }  // namespace cortenmm

@@ -18,11 +18,40 @@ namespace cortenmm {
 // A model state is a flat byte vector; the concrete model defines the layout.
 using ModelState = std::vector<uint8_t>;
 
+// Execution semantics a model's Successors() are generated under.
+//
+//   kSC  — sequential consistency: every store is globally visible the moment
+//          it executes (the pre-PR-9 semantics; the tree-protocol models are
+//          SC by construction because their steps are lock-protected).
+//   kTSO — x86 total store order: each model thread owns a FIFO store buffer;
+//          stores enter the buffer, loads forward from their own buffer before
+//          reading shared memory, and buffered stores drain to memory via
+//          nondeterministic flush steps (fences and RMWs drain eagerly, like
+//          MFENCE / LOCK-prefixed instructions). The one relaxation this adds
+//          over kSC is store->load reordering — exactly the one x86 exhibits.
+//
+// kTSO state spaces are supersets of kSC's for the same program (every SC
+// execution is a TSO execution that flushes each store immediately), which
+// tests/verif_test.cc pins as a monotonicity property.
+enum class MemModel : uint8_t {
+  kSC = 0,
+  kTSO = 1,
+};
+
+const char* MemModelName(MemModel model);
+
 class Model {
  public:
   virtual ~Model() = default;
 
   virtual const char* name() const = 0;
+
+  // The memory model this model's Successors() encode. The base Model is SC:
+  // whole-step atomicity gives every store immediate global visibility. Only
+  // models that explicitly simulate store buffers (MemProgModel in
+  // litmus_model.h) report kTSO.
+  virtual MemModel mem_model() const { return MemModel::kSC; }
+
   virtual ModelState Initial() const = 0;
 
   // All states reachable in one atomic step. An empty result with IsFinal()
@@ -38,6 +67,7 @@ class Model {
 
 struct ModelCheckResult {
   bool ok = false;
+  MemModel mem_model = MemModel::kSC;  // Semantics the run explored under.
   uint64_t states_explored = 0;
   uint64_t transitions = 0;
   uint64_t final_states = 0;

@@ -158,6 +158,49 @@ TEST(BravoTest, FastPathReadThenWriterRevokes) {
   lock.ReadUnlock(cookie2);
 }
 
+// Hammers the revocation window specifically: the writer re-arms the bias
+// before every WriteLock so each iteration runs the full revoke-then-scan
+// protocol against readers racing the rbias re-check. This is the production
+// counterpart of the MakeBravoRevokeLitmus model (src/verif/litmus_model.cc)
+// and of the StoreLoad fence in BravoRwLock::WriteLock — without the fence,
+// tsan (and, rarely, a bare x86 run) can observe a fast-path reader inside
+// the write critical section here.
+TEST(BravoTest, RevocationFenceExcludesRacingFastPathReaders) {
+  BravoRwLock lock;
+  std::atomic<bool> stop{false};
+  std::atomic<int> writer_in_cs{0};
+  std::atomic<int64_t> overlaps{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      lock.rearm_bias_for_testing();  // Force the revocation path every time.
+      lock.WriteLock();
+      writer_in_cs.store(1, std::memory_order_seq_cst);
+      writer_in_cs.store(0, std::memory_order_seq_cst);
+      lock.WriteUnlock();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < StressThreads() - 1; ++t) {
+    readers.emplace_back([&, t] {
+      BindThisThreadToCpu(t + 8);  // Spread BRAVO table slots.
+      while (!stop.load(std::memory_order_acquire)) {
+        auto cookie = lock.ReadLock();
+        if (cookie == BravoRwLock::ReadCookie::kFastPath &&
+            writer_in_cs.load(std::memory_order_seq_cst) != 0) {
+          overlaps.fetch_add(1);
+        }
+        lock.ReadUnlock(cookie);
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(overlaps.load(), 0);
+}
+
 TEST(BravoTest, WriterExcludesFastPathReadersStress) {
   BravoRwLock lock;
   int64_t shared_value = 0;

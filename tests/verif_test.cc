@@ -7,6 +7,7 @@
 #include "src/core/vm_space.h"
 #include "src/sim/corten_vm.h"
 #include "src/sim/mmu.h"
+#include "src/verif/litmus_model.h"
 #include "src/verif/model.h"
 #include "src/verif/tree_model.h"
 #include "src/verif/wf_checker.h"
@@ -224,6 +225,178 @@ INSTANTIATE_TEST_SUITE_P(BothProtocols, WfCheckerTest,
                          [](const ::testing::TestParamInfo<Protocol>& info) {
                            return info.param == Protocol::kRw ? "rw" : "adv";
                          });
+
+// ---------------------------------------------------------------------------
+// TSO store-buffer engine (MemProgModel)
+// ---------------------------------------------------------------------------
+// The litmus suite (litmus_test.cc, ctest label `litmus`) checks the
+// production-primitive models; the tests here pin the SEMANTICS of the
+// interpreter itself: what drains the buffer, the FIFO drain order, store
+// forwarding, and that kTSO explores a superset of the kSC state space.
+
+TEST(TsoEngineTest, RunRecordsTheMemoryModel) {
+  auto model = MakeMpLitmus();
+  model->SetMemModel(MemModel::kSC);
+  EXPECT_EQ(ModelChecker::Run(*model).mem_model, MemModel::kSC);
+  model->SetMemModel(MemModel::kTSO);
+  EXPECT_EQ(ModelChecker::Run(*model).mem_model, MemModel::kTSO);
+  EXPECT_STREQ(MemModelName(MemModel::kSC), "sc");
+  EXPECT_STREQ(MemModelName(MemModel::kTSO), "tso");
+}
+
+// The expected-outcome table for the classic litmus shapes. SB's forbidden
+// outcome is reachable under kTSO and ONLY kTSO; adding the fence — or using
+// MP / LB shapes — forbids it under both. This is the definition of TSO.
+TEST(TsoEngineTest, ClassicLitmusExpectedOutcomeTable) {
+  struct Row {
+    std::unique_ptr<MemProgModel> model;
+    bool ok_under_sc;
+    bool ok_under_tso;
+  };
+  Row rows[] = {
+      {MakeSbLitmus(/*fenced=*/false), true, false},
+      {MakeSbLitmus(/*fenced=*/true), true, true},
+      {MakeMpLitmus(), true, true},
+      {MakeLbLitmus(), true, true},
+  };
+  for (Row& row : rows) {
+    row.model->SetMemModel(MemModel::kSC);
+    EXPECT_EQ(ModelChecker::Run(*row.model).ok, row.ok_under_sc) << row.model->name();
+    row.model->SetMemModel(MemModel::kTSO);
+    EXPECT_EQ(ModelChecker::Run(*row.model).ok, row.ok_under_tso) << row.model->name();
+  }
+}
+
+// An RMW in place of the first SB store must forbid the weak outcome: x86
+// LOCK-prefixed instructions drain the store buffer.
+TEST(TsoEngineTest, RmwDrainsTheBuffer) {
+  const int x = 0, y = 1;
+  MemProgModel::ThreadScript t0, t1;
+  t0.code = {Instr::Exchange(1, x, 1, MO::kAcqRel), Instr::Load(0, y, MO::kAcquire)};
+  t1.code = {Instr::Exchange(1, y, 1, MO::kAcqRel), Instr::Load(0, x, MO::kAcquire)};
+  MemProgModel model("sb-via-rmw", 2, 2, {t0, t1});
+  model.SetInvariant([](const MemProgModel::View& v, std::string* why) {
+    if (v.AllDone() && v.Reg(0, 0) == 0 && v.Reg(1, 0) == 0) {
+      *why = "weak outcome survived an RMW";
+      return false;
+    }
+    return true;
+  });
+  model.SetMemModel(MemModel::kTSO);
+  ModelCheckResult result = ModelChecker::Run(model);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// A seq_cst store compiles to mov+mfence: it commits the whole buffer too.
+TEST(TsoEngineTest, SeqCstStoreDrainsTheBuffer) {
+  const int x = 0, y = 1;
+  MemProgModel::ThreadScript t0, t1;
+  t0.code = {Instr::Store(x, 1, MO::kSeqCst), Instr::Load(0, y, MO::kAcquire)};
+  t1.code = {Instr::Store(y, 1, MO::kSeqCst), Instr::Load(0, x, MO::kAcquire)};
+  MemProgModel model("sb-via-seqcst-store", 2, 1, {t0, t1});
+  model.SetInvariant([](const MemProgModel::View& v, std::string* why) {
+    if (v.AllDone() && v.Reg(0, 0) == 0 && v.Reg(1, 0) == 0) {
+      *why = "weak outcome survived seq_cst stores";
+      return false;
+    }
+    return true;
+  });
+  model.SetMemModel(MemModel::kTSO);
+  ModelCheckResult result = ModelChecker::Run(model);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// The buffer drains in FIFO order: an observer that sees the SECOND store
+// must also see the first. (A write-combining / reordering buffer would let
+// b=1 commit before a=1 and break message passing everywhere.)
+TEST(TsoEngineTest, FlushCommitsInFifoOrder) {
+  const int a = 0, b = 1;
+  MemProgModel::ThreadScript writer, observer;
+  writer.code = {Instr::Store(a, 1, MO::kRelaxed), Instr::Store(b, 1, MO::kRelaxed)};
+  observer.code = {Instr::Load(0, b, MO::kRelaxed), Instr::Load(1, a, MO::kRelaxed)};
+  MemProgModel model("fifo-drain", 2, 2, {writer, observer});
+  model.SetInvariant([](const MemProgModel::View& v, std::string* why) {
+    if (v.Done(1) && v.Reg(1, 0) == 1 && v.Reg(1, 1) == 0) {
+      *why = "second store committed before the first";
+      return false;
+    }
+    return true;
+  });
+  model.SetMemModel(MemModel::kTSO);
+  ModelCheckResult result = ModelChecker::Run(model);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// A thread reads its OWN buffered store (store forwarding) even though the
+// value has not committed to shared memory yet.
+TEST(TsoEngineTest, LoadsForwardFromOwnBuffer) {
+  const int x = 0;
+  MemProgModel::ThreadScript t0;
+  t0.code = {Instr::Store(x, 7, MO::kRelaxed), Instr::Load(0, x, MO::kRelaxed)};
+  MemProgModel model("store-forwarding", 1, 1, {t0});
+  model.SetInvariant([](const MemProgModel::View& v, std::string* why) {
+    if (v.Done(0) && v.Reg(0, 0) != 7) {
+      *why = "load missed the thread's own buffered store";
+      return false;
+    }
+    return true;
+  });
+  model.SetMemModel(MemModel::kTSO);
+  ModelCheckResult result = ModelChecker::Run(model);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// More stores than the buffer holds: the store step is disabled at capacity,
+// flush steps are always enabled, so the program still terminates with every
+// store committed — capacity never deadlocks or drops a store.
+TEST(TsoEngineTest, BufferCapacityThrottlesWithoutDeadlock) {
+  static_assert(MemProgModel::kStoreBufferCap == 4, "script writes cap+2 vars");
+  MemProgModel::ThreadScript t0;
+  for (int v = 0; v < 6; ++v) {
+    t0.code.push_back(Instr::Store(v, 1, MO::kRelaxed));
+  }
+  MemProgModel model("buffer-capacity", 6, 1, {t0});
+  model.SetInvariant([](const MemProgModel::View& v, std::string* why) {
+    if (!v.AllDone()) {
+      return true;
+    }
+    for (int var = 0; var < 6; ++var) {
+      if (v.Mem(var) != 1) {
+        *why = "store dropped at buffer capacity";
+        return false;
+      }
+    }
+    return true;
+  });
+  model.SetMemModel(MemModel::kTSO);
+  ModelCheckResult result = ModelChecker::Run(model);
+  EXPECT_TRUE(result.ok) << result.violation << result.deadlock_state;
+  EXPECT_GT(result.final_states, 0u);
+}
+
+// The flush step is genuinely nondeterministic and the state layout is shared
+// between modes, so kTSO explores a strict superset of the kSC state space on
+// any program with a plain store — monotonicity pins that the store-buffer
+// mode never LOSES coverage.
+TEST(TsoEngineTest, TsoExploresSupersetOfScStates) {
+  std::unique_ptr<MemProgModel> models[] = {
+      MakeSbLitmus(/*fenced=*/true),
+      MakeMpLitmus(),
+      MakeLbLitmus(),
+      MakeSeqCountLitmus(SeqCountVariant::kAsWritten),
+      MakeRingPublishLitmus(RingVariant::kAsWritten),
+      MakePrezeroLitmus(PrezeroVariant::kAsWritten),
+  };
+  for (auto& model : models) {
+    MemModelComparison cmp = CompareMemModels(*model, 20'000'000);
+    ASSERT_TRUE(cmp.sc.ok) << model->name() << ": " << cmp.sc.violation;
+    ASSERT_TRUE(cmp.tso.ok) << model->name() << ": " << cmp.tso.violation;
+    EXPECT_GT(cmp.tso.states_explored, cmp.sc.states_explored) << model->name();
+    EXPECT_EQ(cmp.tso_only_states,
+              cmp.tso.states_explored - cmp.sc.states_explored)
+        << model->name();
+  }
+}
 
 }  // namespace
 }  // namespace cortenmm
