@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <string>
 
+#include "src/common/stats.h"
+#include "src/common/topology.h"
 #include "src/obs/telemetry.h"
 #include "src/sim/workloads.h"
 
@@ -43,6 +45,54 @@ void RunPanel(Micro micro, Contention contention, TelemetrySink* sink) {
   }
 }
 
+// NUMA placement axis: the high-contention mmap-PF panel re-run with workers
+// pinned to one node vs striped across nodes. Same-node keeps every frame
+// allocation local; striped makes the shared covering PT page (and its
+// subtree lock) a cross-socket object, so the gap between the two rows is
+// the interconnect cost the flat machine never showed. The local-allocation
+// ratio per row comes from the numa_* counters.
+void RunPlacementPanel(TelemetrySink* sink) {
+  const NodeTopology& topo = NodeTopology::Instance();
+  std::printf("\n--- NUMA placement axis (mmap-PF, high contention, %d nodes) ---\n",
+              topo.nodes());
+  if (topo.nodes() < 2) {
+    std::printf("single-node topology: placements coincide; set "
+                "CORTENMM_NODES>=2 for the cross-socket rows\n");
+    return;
+  }
+  std::vector<int> sweep = SweepThreads();
+  std::printf("%-28s threads:", "");
+  for (int t : sweep) {
+    std::printf(" %8d", t);
+  }
+  std::printf("  [ops/s]\n");
+  StatsDomain& stats = GlobalStats();
+  for (MmKind kind : {MmKind::kCortenAdv, MmKind::kLinux}) {
+    for (Placement placement : {Placement::kSameNode, Placement::kStriped}) {
+      Telemetry::Instance().Reset();
+      const uint64_t local0 = stats.Total(Counter::kNumaLocalAllocs);
+      const uint64_t remote0 = stats.Total(Counter::kNumaRemoteAllocs);
+      std::vector<double> row;
+      for (int threads : sweep) {
+        row.push_back(RunMicro(Micro::kMmapPf, kind, threads, Contention::kHigh,
+                               Arch::kX86_64, placement));
+      }
+      const uint64_t local = stats.Total(Counter::kNumaLocalAllocs) - local0;
+      const uint64_t remote = stats.Total(Counter::kNumaRemoteAllocs) - remote0;
+      const double ratio =
+          local + remote > 0 ? 100.0 * static_cast<double>(local) /
+                                   static_cast<double>(local + remote)
+                             : 100.0;
+      PrintRow(std::string(MmKindName(kind)) + "/" + PlacementName(placement), row);
+      std::printf("%-28s local allocs %.1f%% (%llu local, %llu remote)\n", "",
+                  ratio, static_cast<unsigned long long>(local),
+                  static_cast<unsigned long long>(remote));
+      sink->Snapshot(std::string("placement/") + MmKindName(kind) + "/" +
+                     PlacementName(placement));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cortenmm
 
@@ -59,5 +109,6 @@ int main() {
     RunPanel(micro, Contention::kLow, &sink);
     RunPanel(micro, Contention::kHigh, &sink);
   }
+  RunPlacementPanel(&sink);
   return 0;
 }

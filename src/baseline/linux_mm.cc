@@ -62,19 +62,21 @@ Result<Pfn> LinuxVmaMm::EnsurePtPath(Vaddr va, int target_level) {
       // A huge leaf blocks the descent (e.g. the 4 KiB fault path racing a
       // concurrent THP install). Split it in place under the slot's lock.
       assert(level == 2);
-      McsNode node;
+      CnaNode* node = CnaNodePool::Get();
       PageDescriptor& desc = PhysMem::Instance().Descriptor(page);
-      desc.mcs.Lock(&node);
+      desc.cna.Lock(node);
       pte = pt_.LoadEntry(page, index);
       if (PteIsPresent(pt_.arch(), pte) && PteIsLeaf(pt_.arch(), pte, level)) {
         Result<Pfn> split = SplitHugeLeafLocked(page, index);
         if (!split.ok()) {
-          desc.mcs.Unlock(&node);
+          desc.cna.Unlock(node);
+          CnaNodePool::Put(node);
           return split;
         }
         pte = pt_.LoadEntry(page, index);
       }
-      desc.mcs.Unlock(&node);
+      desc.cna.Unlock(node);
+      CnaNodePool::Put(node);
     }
     if (!PteIsPresent(pt_.arch(), pte)) {
       // Rule 5: hold the lock of the target page table while inserting.
@@ -90,20 +92,22 @@ Result<Pfn> LinuxVmaMm::EnsurePtPath(Vaddr va, int target_level) {
           pte = pt_.LoadEntry(page, index);
         }
       } else {
-        McsNode node;
+        CnaNode* node = CnaNodePool::Get();
         PageDescriptor& desc = PhysMem::Instance().Descriptor(page);
-        desc.mcs.Lock(&node);
+        desc.cna.Lock(node);
         pte = pt_.LoadEntry(page, index);
         if (!PteIsPresent(pt_.arch(), pte)) {
           Result<Pfn> child = pt_.AllocPtPage(level - 1);
           if (!child.ok()) {
-            desc.mcs.Unlock(&node);
+            desc.cna.Unlock(node);
+            CnaNodePool::Put(node);
             return child;
           }
           pt_.StoreEntry(page, index, MakeTablePte(pt_.arch(), *child));
           pte = pt_.LoadEntry(page, index);
         }
-        desc.mcs.Unlock(&node);
+        desc.cna.Unlock(node);
+        CnaNodePool::Put(node);
       }
     }
     page = PtePfn(pt_.arch(), pte);
@@ -145,15 +149,16 @@ VoidResult LinuxVmaMm::SplitCoveredHugeLeaves(VaRange range, bool only_partial) 
     if (!walk.present || walk.level != 2) {
       continue;
     }
-    McsNode node;
+    CnaNode* node = CnaNodePool::Get();
     PageDescriptor& desc = PhysMem::Instance().Descriptor(walk.pt_page);
-    desc.mcs.Lock(&node);
+    desc.cna.Lock(node);
     // Re-check under the lock: a racing splitter may have beaten us here.
     Result<Pfn> split =
         PteIsLeaf(pt_.arch(), pt_.LoadEntry(walk.pt_page, walk.index), 2)
             ? SplitHugeLeafLocked(walk.pt_page, walk.index)
             : Result<Pfn>(walk.pt_page);
-    desc.mcs.Unlock(&node);
+    desc.cna.Unlock(node);
+    CnaNodePool::Put(node);
     if (!split.ok()) {
       return split.error();
     }
@@ -463,9 +468,9 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
       if (!leaf_table.ok()) {
         result = leaf_table.error();
       } else {
-        McsNode node;
+        CnaNode* node = CnaNodePool::Get();
         PageDescriptor& table_desc = PhysMem::Instance().Descriptor(*leaf_table);
-        table_desc.mcs.Lock(&node);
+        table_desc.cna.Lock(node);
         walk = pt_.Walk(page_va);
         if (walk.present && PtePerm(pt_.arch(), walk.pte).cow()) {
           Pfn old_pfn = PtePfn(pt_.arch(), walk.pte);
@@ -493,7 +498,8 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
             }
           }
         }
-        table_desc.mcs.Unlock(&node);
+        table_desc.cna.Unlock(node);
+        CnaNodePool::Put(node);
       }
     } else if (!PermAllowsAccess(pte_perm, access)) {
       result = ErrCode::kFault;
@@ -511,9 +517,9 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
     if (!leaf_table.ok()) {
       result = leaf_table.error();
     } else {
-      McsNode node;
+      CnaNode* node = CnaNodePool::Get();
       PageDescriptor& table_desc = PhysMem::Instance().Descriptor(*leaf_table);
-      table_desc.mcs.Lock(&node);
+      table_desc.cna.Lock(node);
       Pte pte = pt_.LoadEntry(*leaf_table, PtIndex(page_va, 1));
       if (!PteIsPresent(pt_.arch(), pte)) {
         Result<Pfn> frame = BuddyAllocator::Instance().AllocZeroedFrame();
@@ -535,7 +541,8 @@ VoidResult LinuxVmaMm::HandleFault(Vaddr va, Access access) {
           CountEvent(Counter::kDemandZeroFills);
         }
       }
-      table_desc.mcs.Unlock(&node);
+      table_desc.cna.Unlock(node);
+      CnaNodePool::Put(node);
     }
   }
 
@@ -549,21 +556,23 @@ bool LinuxVmaMm::TryHugeDemandFault(Vaddr huge_base, Perm perm) {
   if (!table.ok()) {
     return false;  // The 4 KiB path retries and surfaces the error.
   }
-  McsNode node;
+  CnaNode* node = CnaNodePool::Get();
   PageDescriptor& table_desc = PhysMem::Instance().Descriptor(*table);
-  table_desc.mcs.Lock(&node);
+  table_desc.cna.Lock(node);
   uint64_t index = PtIndex(huge_base, 2);
   Pte pte = pt_.LoadEntry(*table, index);
   if (PteIsPresent(pt_.arch(), pte)) {
     bool resolved = PteIsLeaf(pt_.arch(), pte, 2);
-    table_desc.mcs.Unlock(&node);
+    table_desc.cna.Unlock(node);
+    CnaNodePool::Put(node);
     // A racing huge install resolved the fault; a level-1 table under the
     // slot means mixed occupancy — take the 4 KiB path.
     return resolved;
   }
   Result<Pfn> run = BuddyAllocator::Instance().AllocHugeRun();
   if (!run.ok()) {
-    table_desc.mcs.Unlock(&node);
+    table_desc.cna.Unlock(node);
+    CnaNodePool::Put(node);
     CountEvent(Counter::kHugeFallbacks);
     FaultInjector::NoteSurvived();
     return false;  // Fallback ladder: 4 KiB demand fill.
@@ -583,7 +592,8 @@ bool LinuxVmaMm::TryHugeDemandFault(Vaddr huge_base, Perm perm) {
     head_desc.owner_key = huge_base;
   }
   pt_.StoreEntry(*table, index, MakeLeafPte(pt_.arch(), *run, perm, 2));
-  table_desc.mcs.Unlock(&node);
+  table_desc.cna.Unlock(node);
+  CnaNodePool::Put(node);
   // The compound page is one LRU entry but 512 memcg pages.
   ChargeAndLruAdd(*run);
   memcg_charged_.fetch_add((1ull << kHugeOrder) - 1, std::memory_order_relaxed);

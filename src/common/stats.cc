@@ -114,6 +114,20 @@ const char* CounterName(Counter c) {
       return "fault_around_mapped";
     case Counter::kBuddyLockAcquisitions:
       return "buddy_lock_acquisitions";
+    case Counter::kNumaLocalAllocs:
+      return "numa_local_allocs";
+    case Counter::kNumaRemoteAllocs:
+      return "numa_remote_allocs";
+    case Counter::kNumaSpills:
+      return "numa_spills";
+    case Counter::kNumaRemoteAccesses:
+      return "numa_remote_accesses";
+    case Counter::kCnaBatchedHandoffs:
+      return "cna_batched_handoffs";
+    case Counter::kCnaSecondaryEnqueues:
+      return "cna_secondary_enqueues";
+    case Counter::kCnaSecondaryFlushes:
+      return "cna_secondary_flushes";
     case Counter::kModelStatesExplored:
       return "model_states_explored";
     case Counter::kModelTransitions:

@@ -5,6 +5,7 @@
 #define SRC_COMMON_STATS_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -70,6 +71,13 @@ enum class Counter : int {
   kPrescrubFramesZeroed,  // Frames zeroed off the fault path by the scrubber.
   kFaultAroundMapped,     // Extra neighbour pages mapped by fault-around.
   kBuddyLockAcquisitions, // Global buddy free-list lock acquisitions.
+  kNumaLocalAllocs,       // Buddy blocks served from the caller's home arena.
+  kNumaRemoteAllocs,      // Buddy blocks served from a remote node's arena.
+  kNumaSpills,            // Home-arena misses that walked the spill order.
+  kNumaRemoteAccesses,    // MMU data/PT accesses charged a remote-node cost.
+  kCnaBatchedHandoffs,    // CNA unlocks that handed off same-node past remotes.
+  kCnaSecondaryEnqueues,  // Remote waiters moved to the CNA secondary queue.
+  kCnaSecondaryFlushes,   // Fairness-bound flushes of the secondary queue.
   kModelStatesExplored,   // States the model checker visited (all Run calls).
   kModelTransitions,      // Transitions the model checker generated.
   kLitmusTsoOnlyStates,   // States reachable under kTSO but not kSC per
@@ -81,14 +89,21 @@ const char* CounterName(Counter c);
 
 class StatsDomain {
  public:
+  // CurrentCpu() is bounded to [0, kMaxCpus) at thread-bind time
+  // (BindThisThreadToCpu asserts, AssignAutoCpu wraps), so no `% kMaxCpus`
+  // hash here: the old modulo silently folded an out-of-range id into a
+  // foreign per-CPU slot — and would fold across NUMA nodes — instead of
+  // surfacing the binding bug.
   void Add(Counter c, uint64_t n = 1) {
-    slots_[CurrentCpu() % kMaxCpus].value.counters[static_cast<int>(c)].fetch_add(
+    CpuId cpu = CurrentCpu();
+    assert(cpu >= 0 && cpu < kMaxCpus);
+    slots_[cpu].value.counters[static_cast<int>(c)].fetch_add(
         n, std::memory_order_relaxed);
   }
 
-  // Sums every slot, not just the online CPUs: Add() hashes the current CPU
-  // with `% kMaxCpus`, so aliased/high CPU ids land in slots an online-bounded
-  // scan would silently drop.
+  // Sums every slot, not just the online CPUs: auto-assigned CPU ids wrap
+  // around kMaxCpus, so a slot can be hot even if OnlineCpuCount() never saw
+  // its id as the max.
   uint64_t Total(Counter c) const {
     uint64_t sum = 0;
     for (int cpu = 0; cpu < kMaxCpus; ++cpu) {

@@ -1,0 +1,68 @@
+#include "src/common/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace cortenmm {
+
+namespace {
+int g_configured_nodes = 0;  // 0 = unset; resolved on first Instance().
+}  // namespace
+
+void NodeTopology::Configure(int nodes) {
+  assert(nodes >= 1 && nodes <= kMaxNodes);
+  g_configured_nodes = nodes;
+}
+
+NodeTopology& NodeTopology::Instance() {
+  static NodeTopology topo([] {
+    int nodes = g_configured_nodes;
+    if (nodes == 0) {
+      if (const char* env = std::getenv("CORTENMM_NODES")) {
+        nodes = std::atoi(env);
+      }
+    }
+    if (nodes < 1) {
+      nodes = 2;  // The paper's testbed is a 2-socket EPYC.
+    }
+    return std::min(nodes, kMaxNodes);
+  }());
+  return topo;
+}
+
+NodeTopology::NodeTopology(int nodes) : nodes_(nodes) {
+  cpus_per_node_ = kMaxCpus / nodes_;  // Remainder CPUs fold into the last node.
+
+  // Asymmetric cost matrix: local accesses cost kLocalCost; a remote hop
+  // costs a base interconnect penalty plus a per-hop distance term, with +1
+  // on the "uphill" direction (higher node -> lower node) so no two directed
+  // edges are equal — real socket fabrics are never perfectly symmetric, and
+  // the asymmetry keeps the spill order total (no arbitrary tie-breaks).
+  for (int from = 0; from < nodes_; ++from) {
+    for (int to = 0; to < nodes_; ++to) {
+      if (from == to) {
+        cost_[from][to] = kLocalCost;
+      } else {
+        uint32_t hops = static_cast<uint32_t>(from < to ? to - from : from - to);
+        cost_[from][to] = 24 + 4 * (hops - 1) + (from > to ? 1 : 0);
+      }
+    }
+  }
+
+  // Spill order: remote nodes sorted nearest-first by directed cost.
+  for (int from = 0; from < nodes_; ++from) {
+    int count = 0;
+    for (int to = 0; to < nodes_; ++to) {
+      if (to != from) {
+        spill_order_[from][count++] = to;
+      }
+    }
+    int* order = spill_order_[from];
+    std::sort(order, order + count, [&](int a, int b) {
+      return cost_[from][a] < cost_[from][b];
+    });
+  }
+}
+
+}  // namespace cortenmm

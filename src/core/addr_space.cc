@@ -248,7 +248,7 @@ void RCursor::AcquireAdv() {
   const bool sampled = AcquireSampler::Sample();
   // Stale-retry backoff (DESIGN.md §4.5: every spin loop uses the helper).
   // Under an unmap storm the covering page can go stale repeatedly; spinning
-  // right back into the MCS queue makes the storm worse.
+  // right back into the lock queue makes the storm worse.
   SpinBackoff retry_backoff;
   // An acquisition that retries this many times is pathological; count it so
   // telemetry surfaces retry storms instead of them hiding in tail latency.
@@ -268,20 +268,20 @@ void RCursor::AcquireAdv() {
         --level;
       }
     }
-    McsNode* node = McsNodePool::Get();
+    CnaNode* node = CnaNodePool::Get();
     bool stale;
     {
       ScopedPhaseTimer mcs_timer(LockPhase::kMcsAcquire, sampled);
       // Chaos: widen the window between the lock-free traversal and the MCS
       // acquire — exactly where a concurrent unmap can turn |cur| stale.
       FaultInjector::Instance().MaybeStall(FaultSite::kAdvLockStall);
-      mem.Descriptor(cur).mcs.Lock(node);
+      mem.Descriptor(cur).cna.Lock(node);
       stale = mem.Descriptor(cur).stale.load(std::memory_order_acquire);
     }
     if (stale) {
       // Raced with an unmap that removed this PT page: retry (Figure 6 L10).
-      mem.Descriptor(cur).mcs.Unlock(node);
-      McsNodePool::Put(node);
+      mem.Descriptor(cur).cna.Unlock(node);
+      CnaNodePool::Put(node);
       rcu.ReadUnlock();
       ++acquire_retries_;
       CountEvent(Counter::kLockRetries);
@@ -313,8 +313,8 @@ void RCursor::AcquireAdv() {
         // hand-over-hand (top-down order keeps this deadlock-free). It cannot
         // be stale while we hold its parent.
         child = PtePfn(pt.arch(), pte);
-        McsNode* child_node = McsNodePool::Get();
-        mem.Descriptor(child).mcs.Lock(child_node);
+        CnaNode* child_node = CnaNodePool::Get();
+        mem.Descriptor(child).cna.Lock(child_node);
         adv_locked_.push_back(AdvLockedPage{child, child_node});
       } else {
         // Create the missing child, locked before it becomes reachable.
@@ -326,8 +326,8 @@ void RCursor::AcquireAdv() {
           break;
         }
         child = *created;
-        McsNode* child_node = McsNodePool::Get();
-        mem.Descriptor(child).mcs.Lock(child_node);
+        CnaNode* child_node = CnaNodePool::Get();
+        mem.Descriptor(child).cna.Lock(child_node);
         adv_locked_.push_back(AdvLockedPage{child, child_node});
         // Push any metadata mark on the slot down before linking (I2).
         PushDownMark(cur, level, index, child);
@@ -372,8 +372,8 @@ void RCursor::AdvDfsLockSubtree(Pfn page, int level) {
       continue;
     }
     Pfn child = PtePfn(pt.arch(), pte);
-    McsNode* node = McsNodePool::Get();
-    mem.Descriptor(child).mcs.Lock(node);
+    CnaNode* node = CnaNodePool::Get();
+    mem.Descriptor(child).cna.Lock(node);
     adv_locked_.push_back(AdvLockedPage{child, node});
     AdvDfsLockSubtree(child, level - 1);
   }
@@ -390,8 +390,8 @@ void RCursor::Release() {
   } else {
     // Reverse acquisition order (Figure 6 AddrSpace::unlock).
     for (size_t i = adv_locked_.size(); i-- > 0;) {
-      mem.Descriptor(adv_locked_[i].pfn).mcs.Unlock(adv_locked_[i].node);
-      McsNodePool::Put(adv_locked_[i].node);
+      mem.Descriptor(adv_locked_[i].pfn).cna.Unlock(adv_locked_[i].node);
+      CnaNodePool::Put(adv_locked_[i].node);
     }
     adv_locked_.clear();
   }
@@ -404,11 +404,11 @@ void RCursor::NoteLocked(Pfn pfn, int level) {
   if (space_->options().protocol != Protocol::kAdv) {
     return;  // kRw: descendants of the write-locked covering page need no lock.
   }
-  McsNode* node = McsNodePool::Get();
+  CnaNode* node = CnaNodePool::Get();
   // Uncontended: the page is not yet visible to any traversal... it *is*
   // visible the instant the parent slot is set, but any other transaction
   // reaching it must first lock our covering page, so Lock() cannot block.
-  PhysMem::Instance().Descriptor(pfn).mcs.Lock(node);
+  PhysMem::Instance().Descriptor(pfn).cna.Lock(node);
   adv_locked_.push_back(AdvLockedPage{pfn, node});
 }
 
@@ -417,8 +417,8 @@ void RCursor::AdvUnlockAndForget(Pfn pfn) {
   // set so Release() does not touch freed memory.
   for (size_t i = adv_locked_.size(); i-- > 0;) {
     if (adv_locked_[i].pfn == pfn) {
-      PhysMem::Instance().Descriptor(pfn).mcs.Unlock(adv_locked_[i].node);
-      McsNodePool::Put(adv_locked_[i].node);
+      PhysMem::Instance().Descriptor(pfn).cna.Unlock(adv_locked_[i].node);
+      CnaNodePool::Put(adv_locked_[i].node);
       adv_locked_.erase_at(i);
       return;
     }

@@ -36,7 +36,7 @@
 #include "src/core/va_alloc.h"
 #include "src/pt/page_table.h"
 #include "src/sync/bravo.h"
-#include "src/sync/mcs_lock.h"
+#include "src/sync/cna_lock.h"
 #include "src/tlb/gather.h"
 #include "src/tlb/shootdown.h"
 
@@ -155,7 +155,7 @@ class RCursor {
   };
   struct AdvLockedPage {
     Pfn pfn;
-    McsNode* node;
+    CnaNode* node;
   };
 
   RCursor(AddrSpace* space, VaRange range);
@@ -217,7 +217,7 @@ class RCursor {
   SmallVec<RwPathEntry, 4> rw_path_;
 
   // kAdv state: every locked PT page in acquisition order. MCS nodes come
-  // from the per-thread McsNodePool so their addresses are stable while
+  // from the per-thread CnaNodePool so their addresses are stable while
   // enqueued and no transaction pays a heap allocation for them.
   SmallVec<AdvLockedPage, 16> adv_locked_;
 

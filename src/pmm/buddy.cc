@@ -17,28 +17,34 @@ namespace {
 thread_local uint32_t mag_occupancy_tick = 0;
 }  // namespace
 
-BuddyAllocator& BuddyAllocator::Instance() {
-  static BuddyAllocator buddy;
-  return buddy;
-}
+// --- BuddyArena --------------------------------------------------------------
 
-BuddyAllocator::BuddyAllocator() {
+BuddyArena::BuddyArena(BuddyAllocator* router, int node, Pfn base,
+                       uint64_t frames)
+    : router_(router), node_(node), base_(base), frames_(frames) {
+  assert(IsAligned(base_, 1ull << kMaxOrder));
   for (int order = 0; order <= kMaxOrder; ++order) {
     free_heads_[order] = kInvalidPfn;
   }
+  cpu_mags_ = std::make_unique<CacheAligned<CpuMags>[]>(kMaxCpus);
 
   PhysMem& mem = PhysMem::Instance();
-  total_frames_ = mem.num_frames();
+  const Pfn limit = base_ + frames_;
 
   // Frame 0 stays reserved so PFN 0 can double as a null sentinel in PTEs.
-  mem.Descriptor(0).type.store(FrameType::kReserved, std::memory_order_relaxed);
+  Pfn pfn = base_;
+  if (pfn == 0) {
+    mem.Descriptor(0).type.store(FrameType::kReserved, std::memory_order_relaxed);
+    pfn = 1;
+  }
 
-  // Seed the free lists with maximal aligned blocks.
-  Pfn pfn = 1;
-  while (pfn < total_frames_) {
+  // Seed the free lists with maximal aligned blocks. Arena bases are
+  // kMaxOrder-aligned, so absolute PFN alignment and arena-relative
+  // alignment coincide for every order we hand out.
+  while (pfn < limit) {
     int order = kMaxOrder;
     while (order > 0 &&
-           (!IsAligned(pfn, 1ull << order) || pfn + (1ull << order) > total_frames_)) {
+           (!IsAligned(pfn, 1ull << order) || pfn + (1ull << order) > limit)) {
       --order;
     }
     PageDescriptor& desc = mem.Descriptor(pfn);
@@ -47,16 +53,11 @@ BuddyAllocator::BuddyAllocator() {
     free_frames_.fetch_add(1ull << order, std::memory_order_relaxed);
     pfn += 1ull << order;
   }
-
-  // Default watermarks scale with the machine; reclaim or tests may override.
-  low_watermark_.store(total_frames_ / 16, std::memory_order_relaxed);
-  min_watermark_.store(total_frames_ / 64, std::memory_order_relaxed);
-
-  Telemetry::Instance().AddJsonSection(
-      "faultpath", [] { return BuddyAllocator::Instance().DumpFaultpathJson(); });
 }
 
-void BuddyAllocator::PushFree(Pfn pfn, int order) {
+bool BuddyArena::MagazinesEnabled() const { return router_->MagazinesEnabled(); }
+
+void BuddyArena::PushFree(Pfn pfn, int order) {
   PhysMem& mem = PhysMem::Instance();
   PageDescriptor& desc = mem.Descriptor(pfn);
   desc.type.store(FrameType::kFree, std::memory_order_relaxed);
@@ -70,7 +71,7 @@ void BuddyAllocator::PushFree(Pfn pfn, int order) {
   free_heads_[order] = pfn;
 }
 
-void BuddyAllocator::RemoveFree(Pfn pfn, int order) {
+void BuddyArena::RemoveFree(Pfn pfn, int order) {
   PhysMem& mem = PhysMem::Instance();
   PageDescriptor& desc = mem.Descriptor(pfn);
   assert(desc.buddy_free.load(std::memory_order_relaxed));
@@ -87,7 +88,7 @@ void BuddyAllocator::RemoveFree(Pfn pfn, int order) {
   desc.free_prev = kInvalidPfn;
 }
 
-Pfn BuddyAllocator::PopFree(int order) {
+Pfn BuddyArena::PopFree(int order) {
   Pfn head = free_heads_[order];
   if (head != kInvalidPfn) {
     RemoveFree(head, order);
@@ -95,7 +96,7 @@ Pfn BuddyAllocator::PopFree(int order) {
   return head;
 }
 
-Result<Pfn> BuddyAllocator::AllocBlockLocked(int order) {
+Result<Pfn> BuddyArena::AllocBlockLocked(int order) {
   int found = order;
   while (found <= kMaxOrder && free_heads_[found] == kInvalidPfn) {
     ++found;
@@ -115,8 +116,9 @@ Result<Pfn> BuddyAllocator::AllocBlockLocked(int order) {
   return block;
 }
 
-void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
+void BuddyArena::FreeBlockLocked(Pfn pfn, int order) {
   PhysMem& mem = PhysMem::Instance();
+  assert(pfn >= base_ && pfn < base_ + frames_);
   // A block on a free list is never pre-zeroed: split/coalesce would leave
   // the flag on the wrong head otherwise.
   mem.Descriptor(pfn).zeroed.store(false, std::memory_order_relaxed);
@@ -130,10 +132,12 @@ void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
     mem.Descriptor(pfn + f).type.store(FrameType::kFree, std::memory_order_relaxed);
   }
   free_frames_.fetch_add(1ull << order, std::memory_order_relaxed);
-  // Coalesce with the buddy while possible.
+  // Coalesce with the buddy while possible. The buddy must live in THIS
+  // arena: node boundaries are kMaxOrder-aligned so the XOR never crosses
+  // one, but the guard keeps frame 0 and the arena edges out.
   while (order < kMaxOrder) {
     Pfn buddy = pfn ^ (1ull << order);
-    if (buddy == 0 || buddy >= total_frames_) {
+    if (buddy == 0 || buddy < base_ || buddy >= base_ + frames_) {
       break;
     }
     PageDescriptor& buddy_desc = mem.Descriptor(buddy);
@@ -148,7 +152,7 @@ void BuddyAllocator::FreeBlockLocked(Pfn pfn, int order) {
   PushFree(pfn, order);
 }
 
-void BuddyAllocator::FlushMagazineLocked(const Magazine& mag, int order) {
+void BuddyArena::FlushMagazineLocked(const Magazine& mag, int order) {
   // Parked blocks are accounted allocated, so FreeBlockLocked's per-block
   // fetch_add is exactly the batch-boundary counter update.
   for (uint32_t b = 0; b < mag.count; ++b) {
@@ -156,7 +160,7 @@ void BuddyAllocator::FlushMagazineLocked(const Magazine& mag, int order) {
   }
 }
 
-void BuddyAllocator::PushDepotOrFlush(int order, const Magazine& mag) {
+void BuddyArena::PushDepotOrFlush(int order, const Magazine& mag) {
   if (mag.count == 0) {
     return;
   }
@@ -172,18 +176,16 @@ void BuddyAllocator::PushDepotOrFlush(int order, const Magazine& mag) {
   }
   if (pushed) {
     // A dirty magazine just became scrubbable; wake the pre-scrubber.
-    if (ScrubHook hook = scrub_hook_.load(std::memory_order_acquire)) {
-      hook();
-    }
+    router_->FireScrubHook();
     return;
   }
-  // Depot full: return the whole magazine under one global-lock acquisition.
+  // Depot full: return the whole magazine under one arena-lock acquisition.
   CountEvent(Counter::kBuddyLockAcquisitions);
   SpinGuard guard(lock_);
   FlushMagazineLocked(mag, order);
 }
 
-Result<Pfn> BuddyAllocator::AllocRaw(int order, bool* prezeroed, bool* mag_hit) {
+Result<Pfn> BuddyArena::AllocRaw(int order, bool* prezeroed, bool* mag_hit) {
   PhysMem& mem = PhysMem::Instance();
   if (prezeroed) {
     *prezeroed = false;
@@ -218,7 +220,7 @@ Result<Pfn> BuddyAllocator::AllocRaw(int order, bool* prezeroed, bool* mag_hit) 
     }
   } else {
     // Magazine empty: swap in a whole one from the depot, or build one under
-    // a single global-lock acquisition.
+    // a single arena-lock acquisition.
     if (FaultInjector::Instance().ShouldFail(FaultSite::kMagazineRefill)) {
       return ErrCode::kNoMem;
     }
@@ -296,7 +298,7 @@ Result<Pfn> BuddyAllocator::AllocRaw(int order, bool* prezeroed, bool* mag_hit) 
   return pfn;
 }
 
-void BuddyAllocator::FreeRaw(Pfn pfn, int order) {
+void BuddyArena::FreeRaw(Pfn pfn, int order) {
   PhysMem& mem = PhysMem::Instance();
   // Whatever the caller did to the contents, they are dirty now.
   mem.Descriptor(pfn).zeroed.store(false, std::memory_order_relaxed);
@@ -331,122 +333,7 @@ void BuddyAllocator::FreeRaw(Pfn pfn, int order) {
   }
 }
 
-Result<Pfn> BuddyAllocator::AllocBlock(int order, FrameType type) {
-  assert(order >= 0 && order <= kMaxOrder);
-  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocBlock)) {
-    return ErrCode::kNoMem;
-  }
-  Result<Pfn> result = AllocRaw(order, nullptr, nullptr);
-  if (result.ok()) {
-    // Reset every frame, not just the head: each descriptor in the run must
-    // carry live type/refcount state or the run cannot be reclaimed
-    // frame-by-frame after a split.
-    for (uint64_t f = 0; f < (1ull << order); ++f) {
-      PhysMem::Instance().Descriptor(*result + f).ResetForAlloc(type);
-    }
-    CountEvent(Counter::kFramesAllocated, 1ull << order);
-    NotePressure();
-  }
-  return result;
-}
-
-void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
-  assert(order >= 0 && order <= kMaxOrder);
-  CountEvent(Counter::kFramesFreed, 1ull << order);
-  FreeRaw(pfn, order);
-}
-
-Result<Pfn> BuddyAllocator::AllocHugeRun(bool* prezeroed, FrameType type) {
-  // Same injection site as AllocBlock: chaos schedules that starve block
-  // allocation starve huge fault-in too, which is exactly the fallback
-  // ladder the policy layer must survive.
-  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocBlock)) {
-    CountEvent(Counter::kHugeAllocFailures);
-    return ErrCode::kNoMem;
-  }
-  bool was_zeroed = false;
-  bool mag_hit = false;
-  Result<Pfn> r = AllocRaw(static_cast<int>(kHugeOrder), &was_zeroed, &mag_hit);
-  if (!r.ok()) {
-    CountEvent(Counter::kHugeAllocFailures);
-    return r;
-  }
-  if (mag_hit) {
-    CountEvent(Counter::kHugeCacheHits);
-  }
-  PhysMem& mem = PhysMem::Instance();
-  for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
-    mem.Descriptor(*r + f).ResetForAlloc(type);
-  }
-  if (prezeroed) {
-    *prezeroed = was_zeroed;
-    if (was_zeroed) {
-      CountEvent(Counter::kPrezeroHits, 1ull << kHugeOrder);
-    }
-  }
-  CountEvent(Counter::kHugeAllocs);
-  CountEvent(Counter::kFramesAllocated, 1ull << kHugeOrder);
-  NotePressure();
-  return r;
-}
-
-void BuddyAllocator::FreeHugeRun(Pfn head) {
-  assert(IsAligned(head, 1ull << kHugeOrder));
-  CountEvent(Counter::kHugeFrees);
-  CountEvent(Counter::kFramesFreed, 1ull << kHugeOrder);
-  FreeRaw(head, static_cast<int>(kHugeOrder));
-}
-
-Result<Pfn> BuddyAllocator::AllocFrame(FrameType type) {
-  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocFrame)) {
-    return ErrCode::kNoMem;
-  }
-  Result<Pfn> r = AllocRaw(0, nullptr, nullptr);
-  if (r.ok()) {
-    PhysMem::Instance().Descriptor(*r).ResetForAlloc(type);
-    CountEvent(Counter::kFramesAllocated);
-    NotePressure();
-  }
-  return r;
-}
-
-Result<Pfn> BuddyAllocator::AllocZeroedFrame(FrameType type) {
-  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocFrame)) {
-    return ErrCode::kNoMem;
-  }
-  bool was_zeroed = false;
-  Result<Pfn> r = AllocRaw(0, &was_zeroed, nullptr);
-  if (!r.ok()) {
-    return r;
-  }
-  PhysMem::Instance().Descriptor(*r).ResetForAlloc(type);
-  if (was_zeroed) {
-    // The pre-scrubber already zeroed this frame off the critical path.
-    CountEvent(Counter::kPrezeroHits);
-  } else {
-    PhysMem::Instance().ZeroFrame(*r);
-  }
-  CountEvent(Counter::kFramesAllocated);
-  NotePressure();
-  return r;
-}
-
-void BuddyAllocator::FreeFrame(Pfn pfn) {
-  CountEvent(Counter::kFramesFreed);
-  FreeRaw(pfn, 0);
-}
-
-void BuddyAllocator::SetMagazinesEnabled(bool enabled) {
-  // Toggling is a quiesced operation (benches, tests): a racing free that
-  // sampled the old value may still park one block, which the next flush
-  // collects — nothing is lost, only deferred.
-  bool was = magazines_enabled_.exchange(enabled, std::memory_order_acq_rel);
-  if (was && !enabled) {
-    FlushCpuCaches();
-  }
-}
-
-void BuddyAllocator::FlushCpuCaches() {
+void BuddyArena::FlushCpuCaches() {
   for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
     CpuMags& cm = cpu_mags_[cpu].value;
     Magazine taken[kMaxOrder + 1];
@@ -488,18 +375,7 @@ void BuddyAllocator::FlushCpuCaches() {
   }
 }
 
-void BuddyAllocator::DrainMagazines() {
-  CountEvent(Counter::kMagDrains);
-  FlushCpuCaches();
-}
-
-uint64_t BuddyAllocator::ScrubBatch(uint64_t max_frames) {
-  if (FaultInjector::Instance().ShouldFail(FaultSite::kPreScrub)) {
-    // Graceful degradation: the frames stay on the dirty shelf and
-    // demand-zero faults fall back to inline zeroing — nothing to roll back.
-    FaultInjector::NoteSurvived();
-    return 0;
-  }
+uint64_t BuddyArena::ScrubBatch(uint64_t max_frames) {
   PhysMem& mem = PhysMem::Instance();
   uint64_t zeroed = 0;
   for (int order = 0; order <= kMaxOrder && zeroed < max_frames; ++order) {
@@ -536,25 +412,275 @@ uint64_t BuddyAllocator::ScrubBatch(uint64_t max_frames) {
       }
     }
   }
+  return zeroed;
+}
+
+uint64_t BuddyArena::CountMisplacedFreeFrames() {
+  PhysMem& mem = PhysMem::Instance();
+  uint64_t misplaced = 0;
+  SpinGuard guard(lock_);
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    for (Pfn pfn = free_heads_[order]; pfn != kInvalidPfn;
+         pfn = mem.Descriptor(pfn).free_next) {
+      if (pfn < base_ || pfn >= base_ + frames_) {
+        misplaced += 1ull << order;
+      }
+    }
+  }
+  return misplaced;
+}
+
+BuddyArena::DepotStats BuddyArena::GetDepotStats() {
+  DepotStats s;
+  for (int order = 0; order <= kMaxOrder; ++order) {
+    Depot& depot = depots_[order];
+    SpinGuard guard(depot.lock);
+    s.clean_mags += depot.clean.size();
+    s.dirty_mags += depot.dirty.size();
+    for (const Magazine& m : depot.clean) {
+      s.clean_frames += uint64_t(m.count) << order;
+    }
+    for (const Magazine& m : depot.dirty) {
+      s.dirty_frames += uint64_t(m.count) << order;
+    }
+  }
+  return s;
+}
+
+// --- BuddyAllocator (per-node router) ----------------------------------------
+
+BuddyAllocator& BuddyAllocator::Instance() {
+  static BuddyAllocator buddy;
+  return buddy;
+}
+
+BuddyAllocator::BuddyAllocator() {
+  PhysMem& mem = PhysMem::Instance();
+  total_frames_ = mem.num_frames();
+
+  num_nodes_ = NodeTopology::Instance().nodes();
+  // Arena boundaries must be kMaxOrder-aligned so buddy XOR math never
+  // crosses a node. The last node absorbs the rounding remainder. A machine
+  // too small to give every node an aligned slice degrades to one arena.
+  frames_per_node_ =
+      (total_frames_ / num_nodes_) & ~((1ull << kMaxOrder) - 1);
+  if (frames_per_node_ == 0) {
+    num_nodes_ = 1;
+    frames_per_node_ = total_frames_;
+  }
+  for (int n = 0; n < num_nodes_; ++n) {
+    Pfn base = static_cast<Pfn>(n) * frames_per_node_;
+    uint64_t frames =
+        n == num_nodes_ - 1 ? total_frames_ - base : frames_per_node_;
+    arenas_[n] = std::make_unique<BuddyArena>(this, n, base, frames);
+  }
+
+  // Default watermarks scale with the machine; reclaim or tests may override.
+  low_watermark_.store(total_frames_ / 16, std::memory_order_relaxed);
+  min_watermark_.store(total_frames_ / 64, std::memory_order_relaxed);
+
+  Telemetry::Instance().AddJsonSection(
+      "faultpath", [] { return BuddyAllocator::Instance().DumpFaultpathJson(); });
+  Telemetry::Instance().AddJsonSection(
+      "numa", [] { return BuddyAllocator::Instance().DumpNumaJson(); });
+}
+
+Result<Pfn> BuddyAllocator::RouteAlloc(int order, bool* prezeroed,
+                                       bool* mag_hit) {
+  int home = NodeTopology::Instance().NodeOfCpu(CurrentCpu());
+  if (home >= num_nodes_) {
+    home = num_nodes_ - 1;  // Degenerate-arena fallback (tiny machines).
+  }
+  Result<Pfn> r = arenas_[home]->AllocRaw(order, prezeroed, mag_hit);
+  if (r.ok()) {
+    CountEvent(Counter::kNumaLocalAllocs);
+    return r;
+  }
+  if (num_nodes_ == 1) {
+    return r;
+  }
+  // Home arena exhausted: walk the remote arenas nearest-first.
+  CountEvent(Counter::kNumaSpills);
+  int count = 0;
+  const int* spill = NodeTopology::Instance().SpillOrder(home, &count);
+  for (int i = 0; i < count; ++i) {
+    if (spill[i] >= num_nodes_) {
+      continue;
+    }
+    r = arenas_[spill[i]]->AllocRaw(order, prezeroed, mag_hit);
+    if (r.ok()) {
+      CountEvent(Counter::kNumaRemoteAllocs);
+      return r;
+    }
+  }
+  return ErrCode::kNoMem;
+}
+
+void BuddyAllocator::RouteFree(Pfn pfn, int order) {
+  // Always the frame's HOME arena: a frame allocated remotely still returns
+  // to the arena its PFN belongs to, so arenas cannot bleed into each other.
+  arenas_[NodeOfPfn(pfn)]->FreeRaw(pfn, order);
+}
+
+Result<Pfn> BuddyAllocator::AllocBlock(int order, FrameType type) {
+  assert(order >= 0 && order <= kMaxOrder);
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocBlock)) {
+    return ErrCode::kNoMem;
+  }
+  Result<Pfn> result = RouteAlloc(order, nullptr, nullptr);
+  if (result.ok()) {
+    // Reset every frame, not just the head: each descriptor in the run must
+    // carry live type/refcount state or the run cannot be reclaimed
+    // frame-by-frame after a split.
+    for (uint64_t f = 0; f < (1ull << order); ++f) {
+      PhysMem::Instance().Descriptor(*result + f).ResetForAlloc(type);
+    }
+    CountEvent(Counter::kFramesAllocated, 1ull << order);
+    NotePressure();
+  }
+  return result;
+}
+
+void BuddyAllocator::FreeBlock(Pfn pfn, int order) {
+  assert(order >= 0 && order <= kMaxOrder);
+  CountEvent(Counter::kFramesFreed, 1ull << order);
+  RouteFree(pfn, order);
+}
+
+Result<Pfn> BuddyAllocator::AllocHugeRun(bool* prezeroed, FrameType type) {
+  // Same injection site as AllocBlock: chaos schedules that starve block
+  // allocation starve huge fault-in too, which is exactly the fallback
+  // ladder the policy layer must survive.
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocBlock)) {
+    CountEvent(Counter::kHugeAllocFailures);
+    return ErrCode::kNoMem;
+  }
+  bool was_zeroed = false;
+  bool mag_hit = false;
+  Result<Pfn> r = RouteAlloc(static_cast<int>(kHugeOrder), &was_zeroed, &mag_hit);
+  if (!r.ok()) {
+    CountEvent(Counter::kHugeAllocFailures);
+    return r;
+  }
+  if (mag_hit) {
+    CountEvent(Counter::kHugeCacheHits);
+  }
+  PhysMem& mem = PhysMem::Instance();
+  for (uint64_t f = 0; f < (1ull << kHugeOrder); ++f) {
+    mem.Descriptor(*r + f).ResetForAlloc(type);
+  }
+  if (prezeroed) {
+    *prezeroed = was_zeroed;
+    if (was_zeroed) {
+      CountEvent(Counter::kPrezeroHits, 1ull << kHugeOrder);
+    }
+  }
+  CountEvent(Counter::kHugeAllocs);
+  CountEvent(Counter::kFramesAllocated, 1ull << kHugeOrder);
+  NotePressure();
+  return r;
+}
+
+void BuddyAllocator::FreeHugeRun(Pfn head) {
+  assert(IsAligned(head, 1ull << kHugeOrder));
+  CountEvent(Counter::kHugeFrees);
+  CountEvent(Counter::kFramesFreed, 1ull << kHugeOrder);
+  RouteFree(head, static_cast<int>(kHugeOrder));
+}
+
+Result<Pfn> BuddyAllocator::AllocFrame(FrameType type) {
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocFrame)) {
+    return ErrCode::kNoMem;
+  }
+  Result<Pfn> r = RouteAlloc(0, nullptr, nullptr);
+  if (r.ok()) {
+    PhysMem::Instance().Descriptor(*r).ResetForAlloc(type);
+    CountEvent(Counter::kFramesAllocated);
+    NotePressure();
+  }
+  return r;
+}
+
+Result<Pfn> BuddyAllocator::AllocZeroedFrame(FrameType type) {
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kBuddyAllocFrame)) {
+    return ErrCode::kNoMem;
+  }
+  bool was_zeroed = false;
+  Result<Pfn> r = RouteAlloc(0, &was_zeroed, nullptr);
+  if (!r.ok()) {
+    return r;
+  }
+  PhysMem::Instance().Descriptor(*r).ResetForAlloc(type);
+  if (was_zeroed) {
+    // The pre-scrubber already zeroed this frame off the critical path.
+    CountEvent(Counter::kPrezeroHits);
+  } else {
+    PhysMem::Instance().ZeroFrame(*r);
+  }
+  CountEvent(Counter::kFramesAllocated);
+  NotePressure();
+  return r;
+}
+
+void BuddyAllocator::FreeFrame(Pfn pfn) {
+  CountEvent(Counter::kFramesFreed);
+  RouteFree(pfn, 0);
+}
+
+void BuddyAllocator::SetMagazinesEnabled(bool enabled) {
+  // Toggling is a quiesced operation (benches, tests): a racing free that
+  // sampled the old value may still park one block, which the next flush
+  // collects — nothing is lost, only deferred.
+  bool was = magazines_enabled_.exchange(enabled, std::memory_order_acq_rel);
+  if (was && !enabled) {
+    FlushCpuCaches();
+  }
+}
+
+void BuddyAllocator::FlushCpuCaches() {
+  for (int n = 0; n < num_nodes_; ++n) {
+    arenas_[n]->FlushCpuCaches();
+  }
+}
+
+void BuddyAllocator::DrainMagazines() {
+  CountEvent(Counter::kMagDrains);
+  FlushCpuCaches();
+}
+
+uint64_t BuddyAllocator::ScrubBatch(uint64_t max_frames) {
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kPreScrub)) {
+    // Graceful degradation: the frames stay on the dirty shelf and
+    // demand-zero faults fall back to inline zeroing — nothing to roll back.
+    FaultInjector::NoteSurvived();
+    return 0;
+  }
+  uint64_t zeroed = 0;
+  for (int n = 0; n < num_nodes_ && zeroed < max_frames; ++n) {
+    zeroed += arenas_[n]->ScrubBatch(max_frames - zeroed);
+  }
   if (zeroed > 0) {
     CountEvent(Counter::kPrescrubFramesZeroed, zeroed);
   }
   return zeroed;
 }
 
+uint64_t BuddyAllocator::CountMisplacedFreeFrames() {
+  uint64_t misplaced = 0;
+  for (int n = 0; n < num_nodes_; ++n) {
+    misplaced += arenas_[n]->CountMisplacedFreeFrames();
+  }
+  return misplaced;
+}
+
 std::string BuddyAllocator::DumpFaultpathJson() {
-  uint64_t clean_mags = 0, dirty_mags = 0, clean_frames = 0, dirty_frames = 0;
-  for (int order = 0; order <= kMaxOrder; ++order) {
-    Depot& depot = depots_[order];
-    SpinGuard guard(depot.lock);
-    clean_mags += depot.clean.size();
-    dirty_mags += depot.dirty.size();
-    for (const Magazine& m : depot.clean) {
-      clean_frames += uint64_t(m.count) << order;
-    }
-    for (const Magazine& m : depot.dirty) {
-      dirty_frames += uint64_t(m.count) << order;
-    }
+  BuddyArena::DepotStats total;
+  for (int n = 0; n < num_nodes_; ++n) {
+    BuddyArena::DepotStats s = arenas_[n]->GetDepotStats();
+    total.clean_mags += s.clean_mags;
+    total.dirty_mags += s.dirty_mags;
+    total.clean_frames += s.clean_frames;
+    total.dirty_frames += s.dirty_frames;
   }
   const StatsDomain& stats = GlobalStats();
   std::ostringstream os;
@@ -567,10 +693,34 @@ std::string BuddyAllocator::DumpFaultpathJson() {
      << ",\"prescrub_frames_zeroed\":" << stats.Total(Counter::kPrescrubFramesZeroed)
      << ",\"fault_around_mapped\":" << stats.Total(Counter::kFaultAroundMapped)
      << ",\"buddy_lock_acquisitions\":" << stats.Total(Counter::kBuddyLockAcquisitions)
-     << ",\"depot_clean_mags\":" << clean_mags
-     << ",\"depot_dirty_mags\":" << dirty_mags
-     << ",\"depot_clean_frames\":" << clean_frames
-     << ",\"depot_dirty_frames\":" << dirty_frames << "}";
+     << ",\"depot_clean_mags\":" << total.clean_mags
+     << ",\"depot_dirty_mags\":" << total.dirty_mags
+     << ",\"depot_clean_frames\":" << total.clean_frames
+     << ",\"depot_dirty_frames\":" << total.dirty_frames << "}";
+  return os.str();
+}
+
+std::string BuddyAllocator::DumpNumaJson() {
+  const StatsDomain& stats = GlobalStats();
+  std::ostringstream os;
+  os << "{\"nodes\":" << num_nodes_
+     << ",\"frames_per_node\":" << frames_per_node_
+     << ",\"numa_local_allocs\":" << stats.Total(Counter::kNumaLocalAllocs)
+     << ",\"numa_remote_allocs\":" << stats.Total(Counter::kNumaRemoteAllocs)
+     << ",\"numa_spills\":" << stats.Total(Counter::kNumaSpills)
+     << ",\"numa_remote_accesses\":" << stats.Total(Counter::kNumaRemoteAccesses)
+     << ",\"cna_batched_handoffs\":" << stats.Total(Counter::kCnaBatchedHandoffs)
+     << ",\"cna_secondary_enqueues\":" << stats.Total(Counter::kCnaSecondaryEnqueues)
+     << ",\"cna_secondary_flushes\":" << stats.Total(Counter::kCnaSecondaryFlushes)
+     << ",\"node_free_frames\":[";
+  for (int n = 0; n < num_nodes_; ++n) {
+    os << (n ? "," : "") << arenas_[n]->FreeFrameCount();
+  }
+  os << "],\"node_total_frames\":[";
+  for (int n = 0; n < num_nodes_; ++n) {
+    os << (n ? "," : "") << arenas_[n]->frames();
+  }
+  os << "]}";
   return os.str();
 }
 

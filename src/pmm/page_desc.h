@@ -12,7 +12,7 @@
 #include "src/common/cpu.h"
 #include "src/common/types.h"
 #include "src/sync/bravo.h"
-#include "src/sync/mcs_lock.h"
+#include "src/sync/cna_lock.h"
 #include "src/sync/spinlock.h"
 
 namespace cortenmm {
@@ -75,7 +75,7 @@ struct alignas(kCacheLineSize) PageDescriptor {
   uint8_t pt_level = 0;                // 1 = leaf PT page, kPtLevels = root.
   std::atomic<bool> stale{false};      // Set by CortenMM_adv when unmapped.
   std::atomic<uint16_t> present_ptes{0};  // Populated-entry count, for pruning.
-  McsLock mcs;                         // CortenMM_adv exclusive lock.
+  CnaLock cna;                         // CortenMM_adv exclusive NUMA-aware lock.
   BravoRwLock rw;                      // CortenMM_rw BRAVO-pfq lock.
   std::atomic<PteMetaArray*> meta{nullptr};  // Lazy per-PTE metadata array.
 

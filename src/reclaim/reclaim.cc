@@ -50,8 +50,13 @@ void ReclaimSystem::Start(const ReclaimConfig& config) {
   if (groups < 1) {
     groups = 1;
   }
+  // One kswapd per CPU group, each adopted by a NUMA node round-robin: with
+  // the default 8-CPU groups and 2 nodes, every node gets its own daemons
+  // sweeping its own arena's PFN range (node-local reclaim), while the wake
+  // machinery and watermarks stay shared.
+  const int nodes = buddy.NumNodes();
   for (int g = 0; g < groups; ++g) {
-    daemons_.emplace_back([this] { DaemonLoop(); });
+    daemons_.emplace_back([this, g, nodes] { DaemonLoop(g % nodes); });
   }
 
   if (config_.prescrub) {
@@ -169,22 +174,38 @@ size_t ReclaimSystem::TenantCount() {
 // ---------------------------------------------------------------------------
 
 uint64_t ReclaimSystem::ReclaimPages(uint64_t target_pages, AddrSpace* only,
-                                     uint64_t max_scan) {
+                                     uint64_t max_scan, int node) {
   PhysMem& mem = PhysMem::Instance();
   uint64_t frames = mem.num_frames();
   if (frames <= 1 || target_pages == 0) {
     return 0;
   }
+  // Sweep range: the whole machine (node < 0), or one node's arena with its
+  // own clock hand, so node-local daemons evict node-local frames and their
+  // hands do not thrash each other's second-chance state.
+  Pfn range_begin = 1;
+  uint64_t range_frames = frames - 1;
+  std::atomic<uint64_t>* hand = &clock_hand_;
+  if (node >= 0) {
+    Pfn begin, end;
+    BuddyAllocator::Instance().NodePfnRange(node, &begin, &end);
+    range_begin = begin == 0 ? 1 : begin;  // Frame 0 is reserved.
+    range_frames = end - range_begin;
+    hand = &node_clock_hands_[node];
+  }
+  if (range_frames == 0) {
+    return 0;
+  }
   if (max_scan == 0) {
     // Two full sweeps: the first clears `young` everywhere, the second may
     // evict — the clock's second chance, bounded.
-    max_scan = 2 * frames;
+    max_scan = 2 * range_frames;
   }
   uint64_t evicted = 0;
   uint64_t scanned = 0;
   while (evicted < target_pages && scanned < max_scan) {
-    Pfn pfn = 1 + (clock_hand_.fetch_add(1, std::memory_order_relaxed) %
-                   (frames - 1));
+    Pfn pfn = range_begin +
+              (hand->fetch_add(1, std::memory_order_relaxed) % range_frames);
     ++scanned;
     PageDescriptor& desc = mem.Descriptor(pfn);
     if (desc.type.load(std::memory_order_relaxed) != FrameType::kAnon) {
@@ -243,7 +264,7 @@ void ReclaimSystem::Wake() {
   }
 }
 
-void ReclaimSystem::DaemonLoop() {
+void ReclaimSystem::DaemonLoop(int node) {
   BuddyAllocator& buddy = BuddyAllocator::Instance();
   std::unique_lock<std::mutex> lock(wake_mu_);
   while (!stop_.load(std::memory_order_acquire)) {
@@ -267,7 +288,15 @@ void ReclaimSystem::DaemonLoop() {
       buddy.DrainMagazines();
     }
     while (!stop_.load(std::memory_order_acquire) && buddy.BelowLow()) {
-      if (ReclaimPages(config_.bg_batch) == 0) {
+      // Node-local sweep first; if the home arena yields nothing, help the
+      // rest of the machine (global pressure is what woke us, and another
+      // node's cold pages are better than a stall).
+      uint64_t got = ReclaimPages(config_.bg_batch, nullptr, /*max_scan=*/0,
+                                  /*node=*/node);
+      if (got == 0) {
+        got = ReclaimPages(config_.bg_batch);
+      }
+      if (got == 0) {
         CountEvent(Counter::kReclaimStalls);
         break;  // Nothing evictable; wait for the next wake/tick.
       }

@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/topology.h"
 #include "src/common/types.h"
 #include "src/core/pressure.h"
 
@@ -103,10 +104,11 @@ class ReclaimSystem : public MemPressureGovernor {
   // One reclaim pass: advance the clock hand until |target_pages| have been
   // evicted, |max_scan| descriptors were examined, or the PFN space yields
   // nothing. |only| restricts eviction to one tenant's pages (the per-tenant
-  // limit path). Returns pages evicted. Safe from any thread holding no
-  // subtree locks.
+  // limit path). |node| >= 0 scopes the sweep to that NUMA node's PFN range
+  // (its own clock hand); -1 sweeps the whole machine. Returns pages evicted.
+  // Safe from any thread holding no subtree locks.
   uint64_t ReclaimPages(uint64_t target_pages, AddrSpace* only = nullptr,
-                        uint64_t max_scan = 0);
+                        uint64_t max_scan = 0, int node = -1);
 
   // Wakes the background reclaimers (the buddy pressure hook target).
   void Wake();
@@ -144,7 +146,10 @@ class ReclaimSystem : public MemPressureGovernor {
 
   std::shared_ptr<Tenant> Pin(AddrSpace* owner);
   void Unpin(const std::shared_ptr<Tenant>& tenant);
-  void DaemonLoop();
+  // Each daemon is a node-local kswapd: it sweeps its home node's PFN range
+  // first and falls back to a whole-machine pass only when its node has
+  // nothing evictable (the watermarks themselves stay global).
+  void DaemonLoop(int node);
   void ScrubberLoop();
 
   ReclaimConfig config_;
@@ -168,6 +173,9 @@ class ReclaimSystem : public MemPressureGovernor {
   std::map<AddrSpace*, std::shared_ptr<Tenant>> tenants_;
 
   std::atomic<uint64_t> clock_hand_{1};
+  // Per-node clock hands for the node-scoped daemon sweeps (indexed by NUMA
+  // node id; the global hand above serves direct reclaim and tenant limits).
+  std::atomic<uint64_t> node_clock_hands_[kMaxNodes] = {};
 };
 
 // RAII Start/Stop for tests and benches.

@@ -45,11 +45,11 @@ MmRing::~MmRing() {
   // side effects (their completions die with the ring, but the caller already
   // chose not to reap them).
   if (pending_.load(std::memory_order_acquire) != 0) {
-    McsNode* node = McsNodePool::Get();
+    CnaNode* node = CnaNodePool::Get();
     combiner_lock_.Lock(node);
     Drain();
     combiner_lock_.Unlock(node);
-    McsNodePool::Put(node);
+    CnaNodePool::Put(node);
   }
 }
 
@@ -109,7 +109,7 @@ uint32_t MmRing::Outstanding() const {
 }
 
 void MmRing::CombineOnce() {
-  McsNode* node = McsNodePool::Get();
+  CnaNode* node = CnaNodePool::Get();
   combiner_lock_.Lock(node);
   // Re-check under the lock: the previous combiner may have executed our ops
   // on our behalf while we waited in the MCS queue (flat combining's win).
@@ -117,7 +117,7 @@ void MmRing::CombineOnce() {
     Drain();
   }
   combiner_lock_.Unlock(node);
-  McsNodePool::Put(node);
+  CnaNodePool::Put(node);
 }
 
 void MmRing::PostCompletion(int cpu, const MmCqe& cqe) {

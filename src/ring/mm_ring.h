@@ -4,7 +4,7 @@
 // Shape: every simulated CPU owns a fixed-depth SPSC submission ring (the
 // owner thread produces, the combiner consumes) and a completion ring of the
 // same depth (the combiner produces, the owner consumes). A drain pass makes
-// one thread the combiner — the MCS queue from src/sync serializes combiner
+// one thread the combiner — the CNA queue lock from src/sync serializes combiner
 // handoff, so waiters enqueue FIFO on their own cache line instead of
 // hammering a shared flag — and that thread:
 //
@@ -42,7 +42,7 @@
 
 #include "src/common/cpu.h"
 #include "src/ring/mm_op.h"
-#include "src/sync/mcs_lock.h"
+#include "src/sync/cna_lock.h"
 
 namespace cortenmm {
 
@@ -82,7 +82,7 @@ class MmRing {
 
   // Flat-combining barrier: returns once every op submitted by the calling
   // CPU before this call has a posted completion. The caller either becomes
-  // the combiner (draining ALL CPUs' pending ops) or waits in the MCS queue
+  // the combiner (draining ALL CPUs' pending ops) or waits in the CNA queue
   // while another combiner executes its ops on its behalf.
   void DrainBarrier();
 
@@ -118,13 +118,13 @@ class MmRing {
   // Runs one drain pass over every CPU's submission ring. Caller must hold
   // |combiner_lock_|.
   void Drain();
-  // Acquires the combiner lock (MCS handoff) and drains if work remains by
+  // Acquires the combiner lock (CNA handoff) and drains if work remains by
   // the time this thread reaches the head of the queue.
   void CombineOnce();
   void PostCompletion(int cpu, const MmCqe& cqe);
 
   Executor executor_;
-  McsLock combiner_lock_;
+  CnaLock combiner_lock_;
   std::atomic<uint64_t> pending_{0};
   // Lazily sized by kMaxCpus; ~2.5 MiB, allocated once per ring frontend.
   std::unique_ptr<PerCpu[]> cpus_;

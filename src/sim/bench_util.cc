@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/baseline/linux_mm.h"
+#include "src/common/topology.h"
 #include "src/obs/telemetry.h"
 #include "src/pmm/phys_mem.h"
 #include "src/baseline/nros_mm.h"
@@ -104,13 +105,28 @@ std::vector<MmKind> AblationSet() {
   return {MmKind::kCortenAdv, MmKind::kCortenAdvVpa, MmKind::kCortenAdvBase};
 }
 
+const char* PlacementName(Placement placement) {
+  return placement == Placement::kSameNode ? "same-node" : "striped";
+}
+
+CpuId PlacementCpu(Placement placement, int thread) {
+  const NodeTopology& topo = NodeTopology::Instance();
+  if (placement == Placement::kSameNode || topo.nodes() < 2) {
+    // FirstCpuOfNode(0) is 0, so this is bind-to-CPU-t — the pre-topology
+    // behavior every existing bench baked its numbers against.
+    return topo.FirstCpuOfNode(0) + thread;
+  }
+  int node = thread % topo.nodes();
+  return topo.FirstCpuOfNode(node) + thread / topo.nodes();
+}
+
 double RunPhased(const PhasedSpec& spec) {
   std::barrier barrier(spec.threads);
   std::atomic<int64_t> timed_nanos{0};
   std::vector<std::thread> workers;
   for (int t = 0; t < spec.threads; ++t) {
     workers.emplace_back([&, t] {
-      BindThisThreadToCpu(t);
+      BindThisThreadToCpu(PlacementCpu(spec.placement, t));
       for (int round = 0; round < spec.rounds; ++round) {
         if (spec.setup) {
           spec.setup(t, round);

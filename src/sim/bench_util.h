@@ -37,6 +37,25 @@ std::vector<MmKind> ComparisonSet();
 std::vector<MmKind> AblationSet();
 
 // ---------------------------------------------------------------------------
+// NUMA placement policies
+// ---------------------------------------------------------------------------
+
+// How benchmark worker threads are pinned onto the NodeTopology. Same-node
+// keeps every worker on node 0 (all allocations node-local); striped
+// round-robins workers across nodes, so shared structures feel cross-socket
+// traffic. With nodes=1 the two policies coincide.
+enum class Placement {
+  kSameNode,
+  kStriped,
+};
+
+const char* PlacementName(Placement placement);
+// The simulated CPU for |thread| under |placement|. Same-node fills node 0's
+// contiguous CPU block (identical to the historical bind-to-CPU-t behavior);
+// striped assigns thread t to node t%N.
+CpuId PlacementCpu(Placement placement, int thread);
+
+// ---------------------------------------------------------------------------
 // Phased multithreaded runner
 // ---------------------------------------------------------------------------
 
@@ -47,6 +66,9 @@ struct PhasedSpec {
   int threads = 1;
   int rounds = 3;
   int ops_per_round = 256;
+  // Workers bind to PlacementCpu(placement, t); kSameNode reproduces the
+  // historical bind-to-CPU-t behavior on node 0.
+  Placement placement = Placement::kSameNode;
   // All callbacks receive (thread, round); the timed op also gets the op id.
   std::function<void(int, int)> setup;
   std::function<void(int, int, int)> timed_op;

@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cassert>
 
+#include "src/common/backoff.h"
 #include "src/common/stats.h"
+#include "src/common/topology.h"
+#include "src/pmm/buddy.h"
 #include "src/pmm/phys_mem.h"
 #include "src/pt/page_table.h"
 #include "src/tlb/shootdown.h"
@@ -59,6 +62,28 @@ void DoData(Pfn pfn, Vaddr va, AccessKind access, uint64_t write_value, uint64_t
   }
 }
 
+// Charges the interconnect cost of touching a frame on a remote NUMA node: a
+// bounded pause loop proportional to the topology's asymmetric cost delta
+// (the software analog of the extra socket hops), plus the
+// numa_remote_accesses counter. Local accesses cost nothing extra — local
+// latency is the baseline every simulated access already pays.
+void ChargeNumaCost(CpuId cpu, Pfn pfn) {
+  const NodeTopology& topo = NodeTopology::Instance();
+  if (topo.nodes() == 1) {
+    return;
+  }
+  const int from = topo.NodeOfCpu(cpu);
+  const int to = BuddyAllocator::Instance().NodeOfPfn(pfn);
+  if (from == to) {
+    return;
+  }
+  CountEvent(Counter::kNumaRemoteAccesses);
+  const uint32_t spins = topo.RemotePenaltySpins(from, to);
+  for (uint32_t i = 0; i < spins; ++i) {
+    CpuRelax();
+  }
+}
+
 }  // namespace
 
 VoidResult MmuSim::Access(MmInterface& mm, Vaddr va, AccessKind access, uint64_t write_value,
@@ -83,6 +108,7 @@ VoidResult MmuSim::Access(MmInterface& mm, Vaddr va, AccessKind access, uint64_t
           PkruAllows(mm.Pkru(), PtePkey(arch, pte), access)) {
         Vaddr leaf_base = AlignDown(va, PtEntrySpan(entry->level));
         Pfn pfn = PtePfn(arch, pte) + ((va - leaf_base) >> kPageBits);
+        ChargeNumaCost(cpu, pfn);
         DoData(pfn, va, access, write_value, out);
         return VoidResult();
       }
@@ -108,6 +134,10 @@ VoidResult MmuSim::Access(MmInterface& mm, Vaddr va, AccessKind access, uint64_t
         tlb.Insert(mm.asid(), va, updated.raw, walk.level);
         Vaddr leaf_base = AlignDown(va, PtEntrySpan(walk.level));
         Pfn pfn = PtePfn(arch, walk.pte) + ((va - leaf_base) >> kPageBits);
+        // A TLB miss walked the tree: the leaf PT page is a memory access
+        // too, and it may live on a different node than the data frame.
+        ChargeNumaCost(cpu, walk.pt_page);
+        ChargeNumaCost(cpu, pfn);
         DoData(pfn, va, access, write_value, out);
         return VoidResult();
       }

@@ -53,7 +53,8 @@ bool MicroSupported(Micro micro, MmKind kind) {
   return true;
 }
 
-double RunMicro(Micro micro, MmKind kind, int threads, Contention contention, Arch arch) {
+double RunMicro(Micro micro, MmKind kind, int threads, Contention contention, Arch arch,
+                Placement placement) {
   std::unique_ptr<MmInterface> mm = MakeMm(kind, arch);
   MmInterface& m = *mm;
 
@@ -82,6 +83,7 @@ double RunMicro(Micro micro, MmKind kind, int threads, Contention contention, Ar
   spec.threads = threads;
   spec.rounds = 3;
   spec.ops_per_round = ops;
+  spec.placement = placement;
 
   bool low = contention == Contention::kLow;
   switch (micro) {

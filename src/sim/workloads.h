@@ -33,8 +33,11 @@ enum class Contention {
 };
 
 // Ops/second of the microbenchmark (one op = one 16 KiB region operation).
+// |placement| pins the workers onto the NodeTopology (fig14's NUMA axis);
+// same-node is the historical flat-machine binding.
 double RunMicro(Micro micro, MmKind kind, int threads, Contention contention,
-                Arch arch = Arch::kX86_64);
+                Arch arch = Arch::kX86_64,
+                Placement placement = Placement::kSameNode);
 
 // True if the paper evaluates this microbenchmark for this system (NrOS lacks
 // demand paging, so only mmap-PF and unmap apply, §6.2).

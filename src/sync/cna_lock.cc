@@ -1,0 +1,276 @@
+#include "src/sync/cna_lock.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/backoff.h"
+#include "src/common/stats.h"
+#include "src/common/topology.h"
+
+namespace cortenmm {
+
+namespace {
+// Spin iterations before a waiter parks in spin.wait(). Short: the point of
+// the park path is to exist (and be model-checked); the spin phase only
+// absorbs sub-microsecond handoffs.
+constexpr int kSpinsBeforePark = 256;
+}  // namespace
+
+void CnaLock::Lock(CnaNode* node) {
+  node->next.store(nullptr, std::memory_order_relaxed);
+  node->spin.store(0, std::memory_order_relaxed);
+  node->sec_tail.store(nullptr, std::memory_order_relaxed);
+  node->parked.store(0, std::memory_order_relaxed);
+  node->numa_node = CurrentNode();
+  CnaNode* prev = tail_.exchange(node, std::memory_order_acq_rel);
+  if (prev == nullptr) {
+    // Uncontended: we hold the lock with an empty secondary queue.
+    node->spin.store(kGrantNoSec, std::memory_order_relaxed);
+    return;
+  }
+  prev->next.store(node, std::memory_order_release);
+  SpinBackoff backoff;
+  for (int i = 0; i < kSpinsBeforePark; ++i) {
+    if (node->spin.load(std::memory_order_acquire) != 0) {
+      return;
+    }
+    backoff.Spin();
+  }
+  // Park. The parked store must be visible BEFORE the spin recheck executes
+  // (StoreLoad) or the granter's skip-notify races us to sleep: granter
+  // stores spin then loads parked, we store parked then load spin — the SB
+  // shape where TSO lets both loads read 0 and the wakeup is lost. The
+  // cna-handoff litmus pins this fence (CnaVariant::kNoFence fails kTSO).
+  for (;;) {
+    node->parked.store(1, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (node->spin.load(std::memory_order_acquire) != 0) {
+      node->parked.store(0, std::memory_order_relaxed);
+      return;
+    }
+    node->spin.wait(0, std::memory_order_acquire);
+    if (node->spin.load(std::memory_order_acquire) != 0) {
+      node->parked.store(0, std::memory_order_relaxed);
+      return;
+    }
+    // Spurious wake (stale notify from a recycled node): park again.
+  }
+}
+
+bool CnaLock::TryLock(CnaNode* node) {
+  node->next.store(nullptr, std::memory_order_relaxed);
+  node->sec_tail.store(nullptr, std::memory_order_relaxed);
+  node->parked.store(0, std::memory_order_relaxed);
+  node->numa_node = CurrentNode();
+  node->spin.store(kGrantNoSec, std::memory_order_relaxed);
+  CnaNode* expected = nullptr;
+  return tail_.compare_exchange_strong(expected, node, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed);
+}
+
+void CnaLock::Grant(CnaNode* succ, uintptr_t value) {
+  succ->spin.store(value, std::memory_order_release);
+  // StoreLoad between the grant and the parked check — the granter half of
+  // the SB shape documented in Lock(). |succ| stays valid afterwards because
+  // pool nodes are immortal.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (succ->parked.load(std::memory_order_acquire) != 0) {
+    succ->spin.notify_one();
+  }
+}
+
+CnaNode* CnaLock::WaitForNext(CnaNode* node) {
+  CnaNode* next;
+  SpinBackoff backoff;
+  while ((next = node->next.load(std::memory_order_acquire)) == nullptr) {
+    backoff.Spin();
+  }
+  return next;
+}
+
+CnaNode* CnaLock::FindLocalSuccessor(CnaNode* from, int my_node,
+                                     CnaNode** skipped_first,
+                                     CnaNode** skipped_last,
+                                     uint64_t* skipped_count) {
+  *skipped_first = nullptr;
+  *skipped_last = nullptr;
+  *skipped_count = 0;
+  CnaNode* cur = from;
+  CnaNode* last_remote = nullptr;
+  uint64_t count = 0;
+  while (cur != nullptr) {
+    if (cur->numa_node == my_node) {
+      if (last_remote != nullptr) {
+        *skipped_first = from;
+        *skipped_last = last_remote;
+        *skipped_count = count;
+      }
+      return cur;
+    }
+    last_remote = cur;
+    ++count;
+    // A null next here may just mean the enqueuer has not linked yet; treat
+    // it as end-of-queue — the handoff falls back to the direct successor,
+    // which is always correct, just not node-optimal.
+    cur = cur->next.load(std::memory_order_acquire);
+  }
+  return nullptr;
+}
+
+void CnaLock::Unlock(CnaNode* node) {
+  // Our own spin value carries the secondary queue we inherited (if any).
+  CnaNode* sec_head = SecHead(node->spin.load(std::memory_order_relaxed));
+  CnaNode* succ = node->next.load(std::memory_order_acquire);
+  if (succ == nullptr) {
+    if (sec_head == nullptr) {
+      batch_ = 0;
+      CnaNode* expected = node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;  // No waiter anywhere.
+      }
+      succ = WaitForNext(node);
+    } else {
+      // Main queue drained but remote waiters are parked on the secondary:
+      // re-install them as the main queue by swinging the tail to their end.
+      CnaNode* sec_tail = sec_head->sec_tail.load(std::memory_order_relaxed);
+      batch_ = 0;
+      CnaNode* expected = node;
+      if (tail_.compare_exchange_strong(expected, sec_tail,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        CountEvent(Counter::kCnaSecondaryFlushes);
+        Grant(sec_head, kGrantNoSec);
+        return;
+      }
+      // An enqueue beat the CAS; splice the secondary in front of it below.
+      succ = WaitForNext(node);
+    }
+  }
+
+  if (sec_head != nullptr && batch_ >= kBatchBound) {
+    // Fairness bound hit: the parked remotes go FIRST, ahead of the main
+    // queue, so a remote node is delayed by at most kBatchBound handoffs.
+    CnaNode* sec_tail = sec_head->sec_tail.load(std::memory_order_relaxed);
+    sec_tail->next.store(succ, std::memory_order_relaxed);
+    batch_ = 0;
+    CountEvent(Counter::kCnaSecondaryFlushes);
+    Grant(sec_head, kGrantNoSec);
+    return;
+  }
+
+  CnaNode* skipped_first = nullptr;
+  CnaNode* skipped_last = nullptr;
+  uint64_t skipped_count = 0;
+  CnaNode* local = FindLocalSuccessor(succ, node->numa_node, &skipped_first,
+                                      &skipped_last, &skipped_count);
+  if (local == nullptr) {
+    // No same-node waiter visible. Hand off to the oldest waiter overall:
+    // the secondary queue (strictly older than the main queue) first.
+    batch_ = 0;
+    if (sec_head != nullptr) {
+      CnaNode* sec_tail = sec_head->sec_tail.load(std::memory_order_relaxed);
+      sec_tail->next.store(succ, std::memory_order_relaxed);
+      CountEvent(Counter::kCnaSecondaryFlushes);
+      Grant(sec_head, kGrantNoSec);
+    } else {
+      Grant(succ, kGrantNoSec);
+    }
+    return;
+  }
+
+  if (skipped_first != nullptr) {
+    // Detach the remote prefix from the main queue onto the secondary queue
+    // (they keep their relative order; sec_tail tracks the append point).
+    skipped_last->next.store(nullptr, std::memory_order_relaxed);
+    CountEvent(Counter::kCnaSecondaryEnqueues, skipped_count);
+    if (sec_head == nullptr) {
+      sec_head = skipped_first;
+      sec_head->sec_tail.store(skipped_last, std::memory_order_relaxed);
+    } else {
+      CnaNode* sec_tail = sec_head->sec_tail.load(std::memory_order_relaxed);
+      sec_tail->next.store(skipped_first, std::memory_order_relaxed);
+      sec_head->sec_tail.store(skipped_last, std::memory_order_relaxed);
+    }
+  }
+
+  if (sec_head != nullptr) {
+    // Same-node handoff past parked remote waiters: the CNA win.
+    ++batch_;
+    CountEvent(Counter::kCnaBatchedHandoffs);
+    Grant(local, reinterpret_cast<uintptr_t>(sec_head));
+  } else {
+    Grant(local, kGrantNoSec);
+  }
+}
+
+// --- CnaNodePool -------------------------------------------------------------
+
+namespace {
+
+constexpr size_t kCnaChunkNodes = 64;
+
+// Chunks are allocated once and intentionally never freed (see the header:
+// the post-grant parked check may touch a node after its owner released it,
+// so node storage must outlive every thread). A thread's unused nodes move
+// to this global free list at thread exit instead of leaking.
+std::mutex g_cna_orphan_mu;
+std::vector<CnaNode*> g_cna_orphans;
+
+// Owns every chunk ever allocated. Heap-allocated and never destroyed (so
+// node addresses stay valid through static destruction), but reachable from
+// this static pointer so LeakSanitizer does not flag the chunks.
+std::vector<std::unique_ptr<CnaNode[]>>& CnaChunkRegistry() {
+  static auto* chunks = new std::vector<std::unique_ptr<CnaNode[]>>();
+  return *chunks;
+}
+
+struct CnaPool {
+  std::vector<CnaNode*> free_nodes;
+  ~CnaPool() {
+    std::lock_guard<std::mutex> guard(g_cna_orphan_mu);
+    g_cna_orphans.insert(g_cna_orphans.end(), free_nodes.begin(),
+                         free_nodes.end());
+  }
+};
+
+thread_local CnaPool tls_cna_pool;
+
+}  // namespace
+
+// Note: nodes must be returned on the thread that obtained them (an RCursor
+// is used by a single thread, so this holds throughout the repository).
+CnaNode* CnaNodePool::Get() {
+  CnaPool& pool = tls_cna_pool;
+  if (pool.free_nodes.empty()) {
+    {
+      std::lock_guard<std::mutex> guard(g_cna_orphan_mu);
+      if (g_cna_orphans.size() >= kCnaChunkNodes) {
+        pool.free_nodes.assign(g_cna_orphans.end() - kCnaChunkNodes,
+                               g_cna_orphans.end());
+        g_cna_orphans.resize(g_cna_orphans.size() - kCnaChunkNodes);
+      }
+    }
+    if (pool.free_nodes.empty()) {
+      CnaNode* chunk;
+      {
+        std::lock_guard<std::mutex> guard(g_cna_orphan_mu);
+        CnaChunkRegistry().push_back(std::make_unique<CnaNode[]>(kCnaChunkNodes));
+        chunk = CnaChunkRegistry().back().get();
+      }
+      pool.free_nodes.reserve(kCnaChunkNodes);
+      for (size_t i = 0; i < kCnaChunkNodes; ++i) {
+        pool.free_nodes.push_back(&chunk[i]);
+      }
+    }
+  }
+  CnaNode* node = pool.free_nodes.back();
+  pool.free_nodes.pop_back();
+  return node;
+}
+
+void CnaNodePool::Put(CnaNode* node) { tls_cna_pool.free_nodes.push_back(node); }
+
+}  // namespace cortenmm

@@ -851,4 +851,66 @@ std::unique_ptr<MemProgModel> MakeBravoRevokeLitmus(BravoVariant variant) {
   return model;
 }
 
+// --- CNA park/wake handoff ---------------------------------------------------
+
+std::unique_ptr<MemProgModel> MakeCnaHandoffLitmus(CnaVariant variant) {
+  const bool fenced = variant == CnaVariant::kFenced;
+  const int spin = 0, parked = 1, wake = 2;
+
+  // Waiter: cna_lock.cc Lock(), the park loop after the spin phase expires.
+  // spin.wait(0) is modeled as a loop on a separate `wake` token: a real
+  // futex sleeper is only released by a FUTEX_WAKE, and the kernel-side
+  // recheck of the futex word is the acquire load at the recheck pc — once
+  // that read 0 and the thread blocks, only the notify can release it.
+  MemProgModel::ThreadScript waiter;
+  waiter.code.push_back(Instr::Store(parked, 1, MO::kRelease));  // parked.store(1) (Lock).
+  if (fenced) {
+    // THE FENCE: StoreLoad between the parked store and the spin recheck
+    // (cna_lock.cc Lock). Without it the recheck runs against memory while
+    // parked=1 waits in the store buffer.
+    waiter.code.push_back(Instr::Fence(MO::kSeqCst));
+  }
+  const int sleep_begin = fenced ? 4 : 3;
+  const int sleep_end = sleep_begin + 1;
+  const int awake = sleep_end + 1;
+  waiter.code.push_back(Instr::Load(0, spin, MO::kAcquire));   // recheck before wait (Lock).
+  waiter.code.push_back(Instr::BranchNe(0, 0, awake));         // grant visible -> no sleep.
+  waiter.code.push_back(Instr::Load(1, wake, MO::kAcquire));   // spin.wait(0): asleep...
+  waiter.code.push_back(Instr::BranchEq(1, 0, sleep_begin));   // ...until a wake is posted.
+  waiter.code.push_back(Instr::SetReg(2, 1));                  // === lock acquired ===
+
+  // Granter: cna_lock.cc Grant() — the unlocker half of the handoff.
+  MemProgModel::ThreadScript granter;
+  granter.code.push_back(Instr::Store(spin, 1, MO::kRelease));  // spin.store(grant) (Grant).
+  if (fenced) {
+    // THE FENCE: StoreLoad between the grant store and the parked check
+    // (cna_lock.cc Grant) — the granter half of the same SB shape.
+    granter.code.push_back(Instr::Fence(MO::kSeqCst));
+  }
+  const int done = fenced ? 5 : 4;
+  granter.code.push_back(Instr::Load(0, parked, MO::kAcquire)); // parked.load() (Grant).
+  granter.code.push_back(Instr::BranchEq(0, 0, done));          // reads 0 -> skip the notify.
+  granter.code.push_back(Instr::Store(wake, 1, MO::kRelease));  // spin.notify_one() (Grant).
+  granter.code.push_back(Instr::SetReg(1, 1));                  // === handoff complete ===
+
+  auto model = std::make_unique<MemProgModel>(
+      fenced ? "cna-handoff-fenced" : "cna-handoff-nofence",
+      3, 3, std::vector<MemProgModel::ThreadScript>{waiter, granter});
+  model->SetInvariant([sleep_begin, sleep_end, wake](
+                          const MemProgModel::View& v, std::string* why) {
+    // Lost wakeup: the granter finished via the skip branch (its parked load
+    // returned 0, reg0 == 0) while the waiter sits in the sleep loop with no
+    // wake token in memory. Nothing can ever store `wake` again — the skip
+    // branch bypassed the only store — so this state is a permanent sleep.
+    bool granter_skipped = v.Done(1) && v.Reg(1, 0) == 0;
+    bool waiter_asleep = v.Pc(0) >= sleep_begin && v.Pc(0) <= sleep_end;
+    if (granter_skipped && waiter_asleep && v.Mem(wake) == 0) {
+      *why = "lost wakeup: granter skipped the notify while the waiter sleeps";
+      return false;
+    }
+    return true;
+  });
+  return model;
+}
+
 }  // namespace cortenmm

@@ -308,6 +308,27 @@ enum class BravoVariant {
 };
 std::unique_ptr<MemProgModel> MakeBravoRevokeLitmus(BravoVariant variant);
 
+// CNA lock park/wake handoff (src/sync/cna_lock.cc): a waiter that exhausted
+// its spin phase stores parked=1 and re-checks spin before sleeping in
+// spin.wait(); the granter stores the grant into spin and then loads parked,
+// skipping the notify when it reads 0 (the futex-style optimization that
+// avoids a syscall-analog wake on every handoff). Invariant: no lost wakeup —
+// the granter never finishes having skipped the notify while the waiter is
+// asleep with no wake token it could ever observe.
+enum class CnaVariant {
+  // Mirrors production: seq_cst fences between each side's store and load
+  // (cna_lock.cc Lock park loop / Grant). Passes under kSC and kTSO.
+  kFenced,
+  // Both fences dropped: waiter stores parked then loads spin, granter
+  // stores spin then loads parked — a store-buffering shape on BOTH sides,
+  // so under TSO both stores sit in their buffers while both loads read 0.
+  // The granter skips the notify, the waiter commits to sleep, and nobody
+  // ever wakes it. The counterexample that pins WHY the park/wake protocol
+  // needs StoreLoad fences (must fail under kTSO, pass under kSC).
+  kNoFence,
+};
+std::unique_ptr<MemProgModel> MakeCnaHandoffLitmus(CnaVariant variant);
+
 }  // namespace cortenmm
 
 #endif  // SRC_VERIF_LITMUS_MODEL_H_

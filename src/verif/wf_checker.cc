@@ -137,8 +137,12 @@ LeakReport CheckFrameLeaks(uint64_t baseline_free_frames) {
       ++report.stranded_anon;
     }
   }
+  // NUMA home invariant: every free frame must sit on its home node's arena
+  // (frees route by PFN, so a misplaced frame means a routing bypass).
+  report.misplaced_home =
+      BuddyAllocator::Instance().CountMisplacedFreeFrames();
   report.ok = report.leaked == 0 && report.stranded_cached == 0 &&
-              report.stranded_anon == 0;
+              report.stranded_anon == 0 && report.misplaced_home == 0;
   return report;
 }
 

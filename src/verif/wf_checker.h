@@ -57,6 +57,11 @@ struct LeakReport {
   // order-9 block released, the rest forgotten) shows up here even when the
   // aggregate free count happens to balance.
   uint64_t stranded_anon = 0;
+  // Free frames sitting on a free list of an arena that is not their home
+  // node (by PFN range) after the drains. The NUMA router frees structurally
+  // — RouteFree dispatches on NodeOfPfn — so any misplaced frame means a
+  // free bypassed the router and corrupted node locality.
+  uint64_t misplaced_home = 0;
 };
 
 LeakReport CheckFrameLeaks(uint64_t baseline_free_frames);

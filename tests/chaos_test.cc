@@ -14,6 +14,8 @@
 
 #include "src/common/cpu.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/topology.h"
 #include "src/core/vm_space.h"
 #include "src/fault/fault_inject.h"
 #include "src/pmm/buddy.h"
@@ -132,6 +134,11 @@ struct ChaosParam {
   // transaction, so refill failures also hit mid-speculation (the primary
   // fault already committed; the walk must simply end, leaking nothing).
   uint32_t fault_around = 0;
+  // NUMA axis: workers stripe across the topology's nodes instead of packing
+  // node 0, so allocation, rollback, and deferred reclamation all cross node
+  // boundaries while faults are injected. The leak gate then also proves no
+  // frame ended up on a foreign arena's free list (misplaced_home).
+  bool numa = false;
 };
 
 class ChaosTest : public ::testing::TestWithParam<ChaosParam> {
@@ -150,8 +157,9 @@ int ChaosThreads() {
 // One worker's traffic: mmap a small region, fault it in, occasionally
 // reprotect or fork, then unmap. Every operation is allowed to fail with
 // kNoMem (that is the point); what is not allowed is a crash or a lost frame.
-void ChaosWorker(VmSpace* space, int tid, int iters, std::atomic<uint64_t>* successes) {
-  BindThisThreadToCpu(tid);
+void ChaosWorker(VmSpace* space, int tid, CpuId cpu, int iters,
+                 std::atomic<uint64_t>* successes) {
+  BindThisThreadToCpu(cpu);
   FaultInjector::SeedThread(0x5eedull ^ static_cast<uint64_t>(tid));
   Rng rng(0xc4a05ull + static_cast<uint64_t>(tid));
   for (int i = 0; i < iters; ++i) {
@@ -238,9 +246,16 @@ TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
     int threads = ChaosThreads();
     constexpr int kIters = 300;
     std::atomic<uint64_t> successes{0};
+    const NodeTopology& topo = NodeTopology::Instance();
+    const uint64_t local_before = GlobalStats().Total(Counter::kNumaLocalAllocs);
     std::vector<std::thread> workers;
     for (int t = 0; t < threads; ++t) {
-      workers.emplace_back(ChaosWorker, space.get(), t, kIters, &successes);
+      // The numa axis stripes workers round-robin across nodes; the default
+      // packs node 0 (the historical flat binding).
+      CpuId cpu = GetParam().numa
+                      ? topo.FirstCpuOfNode(t % topo.nodes()) + t / topo.nodes()
+                      : static_cast<CpuId>(t);
+      workers.emplace_back(ChaosWorker, space.get(), t, cpu, kIters, &successes);
     }
     for (std::thread& w : workers) {
       w.join();
@@ -254,6 +269,11 @@ TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
       EXPECT_GT(FaultInjector::Instance().TotalInjected(), 0u)
           << FaultInjector::Instance().DumpJson();
     }
+    if (GetParam().numa && topo.nodes() >= 2) {
+      // Striped workers must have routed allocations through the NUMA router
+      // on more than one node — otherwise this axis tested nothing.
+      EXPECT_GT(GlobalStats().Total(Counter::kNumaLocalAllocs), local_before);
+    }
 
     // Quiesced structural check: the tree survived the chaos intact.
     WfReport report = CheckWellFormed(space->addr_space());
@@ -262,9 +282,14 @@ TEST_P(ChaosTest, InvariantsHoldUnderFaultInjection) {
 
   // Every frame allocated during the run was either freed by an unmap or by
   // the space's destruction; a botched rollback shows up as a shortfall here.
+  // misplaced_home (folded into leaks.ok) additionally proves every freed
+  // frame went back to its home node's arena — the cross-node leak the numa
+  // axis exists to catch.
   LeakReport leaks = CheckFrameLeaks(baseline_free);
   EXPECT_TRUE(leaks.ok) << "leaked " << leaks.leaked << " frames (baseline "
-                        << leaks.baseline_free << ", now " << leaks.current_free << ")";
+                        << leaks.baseline_free << ", now " << leaks.current_free
+                        << "), " << leaks.misplaced_home
+                        << " free frames on a foreign node's arena";
 }
 
 // Ring chaos: batches drain through the flat combiner while the injector
@@ -425,13 +450,29 @@ INSTANTIATE_TEST_SUITE_P(
                                  /*fault_around=*/16},
                       ChaosParam{Protocol::kAdv, ChaosSchedule::kMixed,
                                  TlbPolicy::kEarlyAck, /*huge=*/false,
-                                 /*fault_around=*/16}),
+                                 /*fault_around=*/16},
+                      // NUMA axis: striped workers, so rollbacks and deferred
+                      // frees cross node boundaries under each failure family
+                      // and the misplaced_home gate has something to bite on.
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kNoMem,
+                                 TlbPolicy::kEarlyAck, /*huge=*/false,
+                                 /*fault_around=*/0, /*numa=*/true},
+                      ChaosParam{Protocol::kRw, ChaosSchedule::kNoMem,
+                                 TlbPolicy::kEarlyAck, /*huge=*/false,
+                                 /*fault_around=*/0, /*numa=*/true},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMagRefill,
+                                 TlbPolicy::kEarlyAck, /*huge=*/false,
+                                 /*fault_around=*/0, /*numa=*/true},
+                      ChaosParam{Protocol::kAdv, ChaosSchedule::kMixed,
+                                 TlbPolicy::kLatr, /*huge=*/true,
+                                 /*fault_around=*/0, /*numa=*/true}),
     [](const ::testing::TestParamInfo<ChaosParam>& info) {
       std::string name = std::string(ProtocolName(info.param.protocol)) + "_" +
                          ScheduleName(info.param.schedule) + "_" +
                          TlbPolicyName(info.param.tlb_policy) +
                          (info.param.huge ? "_Huge" : "") +
-                         (info.param.fault_around != 0 ? "_Around" : "");
+                         (info.param.fault_around != 0 ? "_Around" : "") +
+                         (info.param.numa ? "_Numa" : "");
       for (char& c : name) {
         if (c == '-') {
           c = '_';

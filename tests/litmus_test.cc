@@ -133,6 +133,11 @@ TEST_F(AsWrittenLitmusTest, BravoRevokeFenced) {
   ExpectPassesBothModels(*model);
 }
 
+TEST_F(AsWrittenLitmusTest, CnaHandoffFenced) {
+  auto model = MakeCnaHandoffLitmus(CnaVariant::kFenced);
+  ExpectPassesBothModels(*model);
+}
+
 // --- Broken variants: the checker's teeth ------------------------------------
 //
 // Each demoted variant must be caught. All but Bravo are SC-reachable (the
@@ -187,6 +192,20 @@ TEST(BrokenVariantLitmusTest, BravoRevokeWithoutFenceFailsOnlyUnderTso) {
   EXPECT_FALSE(tso.ok)
       << "the buffered rbias store must let a reader into the write section";
   EXPECT_NE(tso.violation.find("fast-path reader"), std::string::npos)
+      << tso.violation;
+}
+
+// CNA's park/wake skip-notify is store-buffering on both sides: without the
+// seq_cst fences the wakeup is lost only under TSO, never under SC — the same
+// TSO-only class as the BRAVO revocation above.
+TEST(BrokenVariantLitmusTest, CnaHandoffWithoutFenceFailsOnlyUnderTso) {
+  auto model = MakeCnaHandoffLitmus(CnaVariant::kNoFence);
+  EXPECT_TRUE(RunUnder(*model, MemModel::kSC).ok)
+      << "the unfenced park/wake is SC-correct — SC exploration must miss it";
+  ModelCheckResult tso = RunUnder(*model, MemModel::kTSO);
+  EXPECT_FALSE(tso.ok)
+      << "buffered parked/grant stores must let the notify be skipped";
+  EXPECT_NE(tso.violation.find("lost wakeup"), std::string::npos)
       << tso.violation;
 }
 

@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/cpu.h"
 #include "src/common/stats.h"
+#include "src/common/topology.h"
 #include "src/pmm/buddy.h"
 #include "src/pmm/page_desc.h"
 #include "src/pmm/phys_mem.h"
@@ -273,6 +275,114 @@ TEST(MagazineTest, DisableBypassesToGlobalLockAndReenableRestores) {
   buddy.SetMagazinesEnabled(true);
   EXPECT_TRUE(buddy.MagazinesEnabled());
   EXPECT_EQ(buddy.FreeFrameCount(), free_baseline);
+}
+
+// ---------------------------------------------------------------------------
+// NUMA arenas
+// ---------------------------------------------------------------------------
+
+TEST(NumaTest, NodeRangesPartitionPfnSpace) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  PhysMem& mem = PhysMem::Instance();
+  Pfn expect_begin = 0;
+  for (int node = 0; node < buddy.NumNodes(); ++node) {
+    Pfn begin = 0;
+    Pfn end = 0;
+    buddy.NodePfnRange(node, &begin, &end);
+    EXPECT_EQ(begin, expect_begin) << "arena " << node << " leaves a PFN gap";
+    EXPECT_GT(end, begin);
+    // A frame's home is derivable from its PFN alone — both endpoints of the
+    // range must map back to this node.
+    EXPECT_EQ(buddy.NodeOfPfn(begin), node);
+    EXPECT_EQ(buddy.NodeOfPfn(end - 1), node);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, mem.num_frames());
+}
+
+// Draining node 0's arena dry must steer further allocations to the nearest
+// remote arena (never fail while any node has frames), and freeing everything
+// must put every frame back on its *home* node's free lists.
+TEST(NumaTest, ExhaustionSpillsToNearestRemoteAndFreesReturnHome) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  if (buddy.NumNodes() < 2) {
+    GTEST_SKIP() << "single-node topology: no remote arena to spill to";
+  }
+  const NodeTopology& topo = NodeTopology::Instance();
+  BindThisThreadToCpu(topo.FirstCpuOfNode(0));
+  buddy.FlushCpuCaches();
+  buddy.SetMagazinesEnabled(false);  // Every alloc/free hits the arenas directly.
+  StatsDomain& stats = GlobalStats();
+
+  const uint64_t node0_before = buddy.NodeFreeFrameCount(0);
+  const uint64_t node1_before = buddy.NodeFreeFrameCount(1);
+  std::vector<Pfn> held;
+  held.reserve(node0_before + 64);
+  while (buddy.NodeFreeFrameCount(0) > 0) {
+    Result<Pfn> f = buddy.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    held.push_back(*f);
+  }
+
+  const uint64_t spills0 = stats.Total(Counter::kNumaSpills);
+  const uint64_t remote0 = stats.Total(Counter::kNumaRemoteAllocs);
+  int foreign = 0;
+  constexpr int kSpillAllocs = 64;
+  for (int i = 0; i < kSpillAllocs; ++i) {
+    Result<Pfn> f = buddy.AllocFrame();
+    ASSERT_TRUE(f.ok()) << "exhausting the home node must spill, not fail";
+    if (buddy.NodeOfPfn(*f) != 0) {
+      ++foreign;
+    }
+    held.push_back(*f);
+  }
+  EXPECT_EQ(foreign, kSpillAllocs);
+  EXPECT_GE(stats.Total(Counter::kNumaSpills) - spills0,
+            static_cast<uint64_t>(kSpillAllocs));
+  EXPECT_GE(stats.Total(Counter::kNumaRemoteAllocs) - remote0,
+            static_cast<uint64_t>(kSpillAllocs));
+
+  for (Pfn f : held) {
+    buddy.FreeFrame(f);
+  }
+  // Frees route by PFN: both arenas end exactly where they started, and no
+  // frame sits on a foreign free list.
+  EXPECT_EQ(buddy.NodeFreeFrameCount(0), node0_before);
+  EXPECT_EQ(buddy.NodeFreeFrameCount(1), node1_before);
+  EXPECT_EQ(buddy.CountMisplacedFreeFrames(), 0u);
+  buddy.SetMagazinesEnabled(true);
+}
+
+// Freeing from a CPU on another node must still return the frame to its home
+// arena — the free routes by PFN, not by the freeing CPU.
+TEST(NumaTest, FreesFromForeignCpuReturnToHomeArena) {
+  BuddyAllocator& buddy = BuddyAllocator::Instance();
+  if (buddy.NumNodes() < 2) {
+    GTEST_SKIP() << "single-node topology: every CPU is home";
+  }
+  const NodeTopology& topo = NodeTopology::Instance();
+  buddy.FlushCpuCaches();
+  buddy.SetMagazinesEnabled(false);
+
+  BindThisThreadToCpu(topo.FirstCpuOfNode(0));
+  const uint64_t node0_before = buddy.NodeFreeFrameCount(0);
+  std::vector<Pfn> held;
+  for (int i = 0; i < 32; ++i) {
+    Result<Pfn> f = buddy.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    ASSERT_EQ(buddy.NodeOfPfn(*f), 0) << "home arena has frames; alloc must be local";
+    held.push_back(*f);
+  }
+
+  BindThisThreadToCpu(topo.FirstCpuOfNode(1));
+  for (Pfn f : held) {
+    buddy.FreeFrame(f);
+  }
+  EXPECT_EQ(buddy.NodeFreeFrameCount(0), node0_before);
+  EXPECT_EQ(buddy.CountMisplacedFreeFrames(), 0u);
+
+  BindThisThreadToCpu(topo.FirstCpuOfNode(0));
+  buddy.SetMagazinesEnabled(true);
 }
 
 // ---------------------------------------------------------------------------
